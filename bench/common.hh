@@ -1,0 +1,101 @@
+/**
+ * @file common.hh
+ * Shared helpers for the figure/table reproduction harnesses: CLI
+ * parsing (--scale, --seeds), run helpers, and uniform headers so the
+ * bench outputs are easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef CALIFORMS_BENCH_COMMON_HH
+#define CALIFORMS_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/table.hh"
+#include "workload/runner.hh"
+
+namespace califorms::bench
+{
+
+/** Common command line options. */
+struct Options
+{
+    double scale = 0.5;   //!< workload iteration multiplier
+    unsigned seeds = 2;   //!< randomized binaries per configuration
+    bool quick = false;   //!< --quick: one seed, small scale
+
+    static Options
+    parse(int argc, char **argv)
+    {
+        Options opt;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--quick") == 0) {
+                opt.quick = true;
+                opt.scale = 0.1;
+                opt.seeds = 1;
+            } else if (std::strcmp(argv[i], "--scale") == 0 &&
+                       i + 1 < argc) {
+                opt.scale = std::atof(argv[++i]);
+            } else if (std::strcmp(argv[i], "--seeds") == 0 &&
+                       i + 1 < argc) {
+                opt.seeds = static_cast<unsigned>(
+                    std::atoi(argv[++i]));
+            } else if (std::strcmp(argv[i], "--help") == 0) {
+                std::printf("usage: %s [--scale S] [--seeds N] "
+                            "[--quick]\n",
+                            argv[0]);
+                std::exit(0);
+            }
+        }
+        if (opt.scale <= 0)
+            opt.scale = 0.5;
+        if (opt.seeds == 0)
+            opt.seeds = 1;
+        return opt;
+    }
+};
+
+/** Print a uniform experiment banner. */
+inline void
+banner(const char *experiment, const char *paper_summary,
+       const Options &opt)
+{
+    std::printf("================================================="
+                "=====================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper reference: %s\n", paper_summary);
+    std::printf("scale=%.2f seeds=%u\n", opt.scale, opt.seeds);
+    std::printf("================================================="
+                "=====================\n");
+}
+
+/** Benchmarks included in the software evaluation (Section 8.2). */
+inline std::vector<const SpecBenchmark *>
+softwareEvalSuite()
+{
+    std::vector<const SpecBenchmark *> out;
+    for (const auto &b : spec2006Suite())
+        if (b.inSoftwareEval)
+            out.push_back(&b);
+    return out;
+}
+
+/** Average over layout seeds of the cycle count for one config. */
+inline double
+meanCyclesOverSeeds(const SpecBenchmark &bench, RunConfig config,
+                    unsigned seeds)
+{
+    double sum = 0;
+    for (unsigned s = 0; s < seeds; ++s) {
+        config.layoutSeed = 1000 + s;
+        sum += static_cast<double>(runBenchmark(bench, config).cycles);
+    }
+    return sum / seeds;
+}
+
+} // namespace califorms::bench
+
+#endif // CALIFORMS_BENCH_COMMON_HH

@@ -1,0 +1,66 @@
+/**
+ * @file table7_l1_variants.cc
+ * Table 7 (Appendix A): synthesis results for all three L1 Califorms
+ * variants — the 8B dedicated bit vector array, the 4B in-security-byte
+ * variant (Figure 14) and the 1B header-byte variant (Figure 15).
+ *
+ * Paper: Califorms-4B and -1B incur 49.38% and 22.22% extra L1 hit
+ * delay versus the baseline (vs 1.85% for 8B) while cutting the area
+ * overhead to 6.80% and 2.69% (vs 18.69%).
+ */
+
+#include <cstdio>
+
+#include "util/table.hh"
+#include "vlsi/designs.hh"
+
+using namespace califorms;
+
+int
+main()
+{
+    std::printf("Table 7 - the three L1 Califorms variants "
+                "(structural gate-level model)\n\n");
+
+    CircuitBuilder builder;
+    L1Geometry geometry;
+    const auto rows = synthesizeAll(builder, geometry);
+    const auto &base = rows[0].main;
+
+    TextTable table({"design", "area (GE)", "delay (ns)", "power (mW)",
+                     "area ovh", "delay ovh"});
+    for (const auto &row : rows) {
+        std::string area_ovh = "-";
+        std::string delay_ovh = "-";
+        if (&row != &rows[0]) {
+            area_ovh = TextTable::pct(row.main.areaGe / base.areaGe -
+                                      1.0);
+            delay_ovh = TextTable::pct(row.main.delayNs / base.delayNs -
+                                       1.0);
+        }
+        table.addRow({row.name, TextTable::num(row.main.areaGe, 0),
+                      TextTable::num(row.main.delayNs, 2),
+                      TextTable::num(row.main.powerMw, 2), area_ovh,
+                      delay_ovh});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const auto &fill = rows[1].fill;
+    const auto &spill = rows[1].spill;
+    std::printf("fill module : %8.0f GE  %.2fns  %.2fmW\n", fill.areaGe,
+                fill.delayNs, fill.powerMw);
+    std::printf("spill module: %8.0f GE  %.2fns  %.2fmW\n", spill.areaGe,
+                spill.delayNs, spill.powerMw);
+
+    std::printf("\npaper Table 7 (area / delay / power):\n"
+                "  Baseline      347,329 / 1.62 / 15.84\n"
+                "  Califorms-8B  412,264 / 1.65 / 16.17  "
+                "(+18.69%% area, +1.85%% delay)\n"
+                "  Califorms-4B  370,972 / 2.42 / 17.95  "
+                "(+6.80%% area, +49.38%% delay)\n"
+                "  Califorms-1B  356,695 / 1.98 / 16.00  "
+                "(+2.69%% area, +22.22%% delay)\n"
+                "Relations preserved: 8B > 4B > 1B in area; "
+                "4B > 1B > 8B in hit delay.\n");
+    return 0;
+}

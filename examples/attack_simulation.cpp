@@ -1,0 +1,104 @@
+/**
+ * @file attack_simulation.cpp
+ * The Section 7.3 attacker's view: an adversary with arbitrary-read
+ * capability scans the heap for a target object. Every scan step that
+ * lands on a security byte raises the privileged exception; with
+ * random 1..7-byte spans the survival probability collapses after a
+ * handful of objects. Also demonstrates the zero-read side channel
+ * defense: security bytes are indistinguishable from legitimate zero
+ * data.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "alloc/heap.hh"
+#include "layout/policy.hh"
+#include "sim/machine.hh"
+#include "util/rng.hh"
+
+using namespace califorms;
+
+int
+main()
+{
+    std::puts("== derandomization attack simulation ==\n");
+
+    Machine machine;
+    HeapAllocator heap(machine);
+
+    auto def = std::make_shared<StructDef>(
+        "cred", std::vector<Field>{
+                    {"uid", Type::intType()},
+                    {"token", Type::array(Type::charType(), 16)},
+                    {"is_admin", Type::charType()},
+                }); // the attacker wants to flip is_admin
+    LayoutTransformer t(InsertionPolicy::Full, PolicyParams{1, 7, 1},
+                        31337);
+    auto layout = std::make_shared<SecureLayout>(t.transform(*def));
+
+    const int population = 64;
+    std::vector<Addr> objs;
+    for (int i = 0; i < population; ++i)
+        objs.push_back(heap.allocate(layout));
+
+    const double density =
+        static_cast<double>(layout->securityByteCount()) /
+        static_cast<double>(layout->size);
+    std::printf("heap: %d cred objects, %zuB each, security density "
+                "%.2f\n\n",
+                population, layout->size, density);
+
+    // The attacker scans the heap linearly looking for the layout.
+    Rng rng(7);
+    int survived_bytes = 0;
+    const Addr scan_base = objs.front();
+    for (std::size_t b = 0;; ++b) {
+        machine.load(scan_base + b, 1);
+        if (!machine.exceptions().delivered().empty())
+            break;
+        ++survived_bytes;
+    }
+    std::printf("linear scan tripped after %d byte(s) "
+                "(first security span)\n",
+                survived_bytes);
+    std::printf("closed form: expected survival of a full-object scan "
+                "= (1-%.2f)^%zu = %.2e\n\n",
+                density, layout->size,
+                std::pow(1.0 - density,
+                         static_cast<double>(layout->size)));
+
+    // Side channel check (Section 7.2): the attacker reads one byte
+    // speculatively. Security bytes return zero — exactly what zeroed
+    // legitimate data returns, so the read leaks nothing.
+    machine.exceptions().clearLogs();
+    {
+        WhitelistGuard guard(machine.exceptions()); // model speculation
+        const auto v1 = machine.load(
+            objs[1] + layout->securityBytes.front().offset, 1);
+        const Addr zero_field = objs[1] + layout->fields[0].offset;
+        const auto v2 = machine.load(zero_field, 1);
+        std::printf("speculative read of a security byte: %llu; of "
+                    "zeroed data: %llu (indistinguishable)\n",
+                    static_cast<unsigned long long>(v1),
+                    static_cast<unsigned long long>(v2));
+    }
+
+    // Monte-Carlo: how many random-guess writes until detection?
+    machine.exceptions().clearLogs();
+    machine.exceptions().setPolicy(ExceptionUnit::Policy::Terminate);
+    int guesses = 0;
+    while (!machine.exceptions().terminated()) {
+        const Addr obj = objs[rng.nextBelow(objs.size())];
+        const std::size_t off = rng.nextBelow(layout->size);
+        machine.store(obj + off, 1, 0xff);
+        ++guesses;
+    }
+    std::printf("\nblind guessing attack: process terminated after %d "
+                "guess(es)\n",
+                guesses);
+    std::printf("(with continuous monitoring the very first tripwire "
+                "hit ends the attack)\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file policy_explorer.cpp
+ * Command line front end for the simulator: run any benchmark under
+ * any insertion policy and print the full gem5-style statistics dump.
+ *
+ *   policy_explorer [benchmark] [policy] [maxspan] [--no-cform]
+ *                   [--extra-latency] [--scale S] [--seed N]
+ *
+ *   benchmark: one of the 19 SPEC CPU2006 names (default mcf), or
+ *              "all" for the whole suite
+ *   policy:    none | opportunistic | full | intelligent | fixed
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/stats_dump.hh"
+#include "workload/runner.hh"
+
+using namespace califorms;
+
+namespace
+{
+
+InsertionPolicy
+parsePolicy(const std::string &name)
+{
+    if (name == "none")
+        return InsertionPolicy::None;
+    if (name == "opportunistic")
+        return InsertionPolicy::Opportunistic;
+    if (name == "full")
+        return InsertionPolicy::Full;
+    if (name == "intelligent")
+        return InsertionPolicy::Intelligent;
+    if (name == "fixed")
+        return InsertionPolicy::FullFixed;
+    std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+void
+runOne(const SpecBenchmark &bench, const RunConfig &config)
+{
+    const RunResult r = runBenchmark(bench, config);
+    std::printf("\n=== %s  policy=%s  cform=%s ===\n",
+                bench.name.c_str(), policyName(config.policy).c_str(),
+                config.heap.useCform ? "on" : "off");
+    std::printf("cycles=%llu instructions=%llu ipc=%.2f\n",
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions),
+                r.cycles ? static_cast<double>(r.instructions) /
+                               static_cast<double>(r.cycles)
+                         : 0.0);
+    std::printf("l1 miss%%=%.2f l2 miss%%=%.2f l3 miss%%=%.2f "
+                "dram lines=%llu\n",
+                100.0 * r.mem.l1.missRate(),
+                100.0 * r.mem.l2.missRate(),
+                100.0 * r.mem.l3.missRate(),
+                static_cast<unsigned long long>(r.mem.dramAccesses));
+    std::printf("allocs=%llu frees=%llu cforms=%llu spills=%llu "
+                "fills=%llu\n",
+                static_cast<unsigned long long>(r.heap.allocs),
+                static_cast<unsigned long long>(r.heap.frees),
+                static_cast<unsigned long long>(r.mem.cformOps),
+                static_cast<unsigned long long>(r.mem.spills),
+                static_cast<unsigned long long>(r.mem.fills));
+    std::printf("exceptions delivered=%zu suppressed=%zu\n",
+                r.exceptionsDelivered, r.exceptionsSuppressed);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench_name = "mcf";
+    RunConfig config;
+    config.scale = 0.5;
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--no-cform") {
+            config.withCform(false);
+        } else if (arg == "--extra-latency") {
+            config.machine.mem.extraL2L3Latency = 1;
+        } else if (arg == "--scale" && i + 1 < argc) {
+            config.scale = std::atof(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            config.layoutSeed =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--help") {
+            std::puts("usage: policy_explorer [benchmark|all] "
+                      "[none|opportunistic|full|intelligent|fixed] "
+                      "[maxspan] [--no-cform] [--extra-latency] "
+                      "[--scale S] [--seed N]");
+            return 0;
+        } else if (positional == 0) {
+            bench_name = arg;
+            ++positional;
+        } else if (positional == 1) {
+            config.policy = parsePolicy(arg);
+            ++positional;
+        } else if (positional == 2) {
+            config.policyParams.maxSpan =
+                static_cast<std::size_t>(std::atoi(arg.c_str()));
+            config.policyParams.fixedSpan = config.policyParams.maxSpan;
+            ++positional;
+        }
+    }
+
+    if (bench_name == "all") {
+        for (const auto &b : spec2006Suite())
+            runOne(b, config);
+        return 0;
+    }
+    runOne(findBenchmark(bench_name), config);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file whitelisted_memcpy.cpp
+ * The Section 6.3 usability scenario: struct-to-struct assignment
+ * sweeps over security bytes, so memcpy-style routines run under a
+ * whitelist window (exception mask raised). The copy succeeds, the
+ * destination's blacklist survives, and a rogue access afterwards is
+ * still caught — "persistent tampering protection".
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "alloc/heap.hh"
+#include "alloc/secure_mem.hh"
+#include "layout/policy.hh"
+#include "sim/machine.hh"
+
+using namespace califorms;
+
+int
+main()
+{
+    std::puts("== whitelisted memcpy ==\n");
+
+    Machine machine;
+    HeapAllocator heap(machine);
+
+    auto def = std::make_shared<StructDef>(
+        "packet", std::vector<Field>{
+                      {"len", Type::intType()},
+                      {"flags", Type::charType()},
+                      {"payload", Type::array(Type::charType(), 24)},
+                      {"handler", Type::functionPointer()},
+                  });
+    LayoutTransformer t(InsertionPolicy::Full, PolicyParams{}, 11);
+    auto layout = std::make_shared<SecureLayout>(t.transform(*def));
+
+    const Addr src = heap.allocate(layout);
+    const Addr dst = heap.allocate(layout);
+
+    // Fill the source's fields.
+    const auto &payload = layout->fields[2];
+    machine.store(src + layout->fields[0].offset, 4, 1234);
+    for (unsigned i = 0; i < 24; ++i)
+        machine.store(src + payload.offset + i, 1, 'p');
+
+    // A naive byte copy without whitelisting would be killed on the
+    // first security byte:
+    {
+        Machine strict(MachineParams{}, ExceptionUnit::Policy::Terminate);
+        HeapAllocator strict_heap(strict);
+        const Addr a = strict_heap.allocate(layout);
+        const Addr b = strict_heap.allocate(layout);
+        for (std::size_t i = 0;
+             i < layout->size && !strict.exceptions().terminated(); ++i)
+            strict.store(b + i, 1, strict.load(a + i, 1));
+        std::printf("naive un-whitelisted copy: terminated = %s "
+                    "(expect yes)\n",
+                    strict.exceptions().terminated() ? "yes" : "no");
+    }
+
+    // The whitelisted version (struct assignment / memcpy):
+    secureMemcpy(machine, dst, src, layout->size);
+    std::printf("whitelisted copy: delivered=%zu suppressed=%zu\n",
+                machine.exceptions().deliveredCount(),
+                machine.exceptions().suppressedCount());
+    std::printf("payload copied: dst[0]='%c' (expect 'p')\n",
+                static_cast<char>(machine.load(dst + payload.offset, 1)));
+
+    // The destination's blacklist survived the sweep:
+    const Addr span_byte = dst + layout->securityBytes.front().offset;
+    machine.store(span_byte, 1, 0x41);
+    std::printf("post-copy rogue store into a security byte: "
+                "delivered=%zu (expect 1)\n",
+                machine.exceptions().deliveredCount());
+    return 0;
+}

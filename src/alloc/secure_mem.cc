@@ -1,0 +1,56 @@
+#include "alloc/secure_mem.hh"
+
+namespace califorms
+{
+
+void
+secureMemcpy(Machine &machine, Addr dst, Addr src, std::size_t n)
+{
+    WhitelistGuard guard(machine.exceptions());
+    std::size_t i = 0;
+    while (i < n) {
+        // Copy in the widest chunks that stay line-contained on both
+        // sides, like an optimized memcpy would.
+        std::size_t chunk = std::min<std::size_t>(8, n - i);
+        while (chunk > 1 &&
+               (lineOffset(src + i) + chunk > lineBytes ||
+                lineOffset(dst + i) + chunk > lineBytes))
+            --chunk;
+        const std::uint64_t v =
+            machine.load(src + i, static_cast<unsigned>(chunk));
+        machine.store(dst + i, static_cast<unsigned>(chunk), v);
+        i += chunk;
+    }
+}
+
+void
+secureMemset(Machine &machine, Addr dst, std::uint8_t value, std::size_t n)
+{
+    WhitelistGuard guard(machine.exceptions());
+    std::uint64_t pattern = 0;
+    for (unsigned b = 0; b < 8; ++b)
+        pattern |= static_cast<std::uint64_t>(value) << (8 * b);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t chunk = std::min<std::size_t>(8, n - i);
+        while (chunk > 1 && lineOffset(dst + i) + chunk > lineBytes)
+            --chunk;
+        machine.store(dst + i, static_cast<unsigned>(chunk), pattern);
+        i += chunk;
+    }
+}
+
+int
+secureMemcmp(Machine &machine, Addr a, Addr b, std::size_t n)
+{
+    WhitelistGuard guard(machine.exceptions());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto va = static_cast<std::uint8_t>(machine.load(a + i, 1));
+        const auto vb = static_cast<std::uint8_t>(machine.load(b + i, 1));
+        if (va != vb)
+            return va < vb ? -1 : 1;
+    }
+    return 0;
+}
+
+} // namespace califorms

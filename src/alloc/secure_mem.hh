@@ -1,0 +1,35 @@
+/**
+ * @file secure_mem.hh
+ * Whitelisted bulk memory routines (Sections 4.2 and 6.3).
+ *
+ * memcpy-style functions legitimately sweep entire objects — including
+ * their security bytes — so the paper whitelists them by raising the
+ * exception mask around their bodies. These helpers model that: they
+ * run the byte loop under a WhitelistGuard, so any security byte touch
+ * is recorded as suppressed instead of delivered. Blacklisted source
+ * bytes read zero, and stores to blacklisted destination bytes write
+ * data without disturbing the metadata, exactly like a struct-to-struct
+ * assignment on real califormed memory.
+ */
+
+#ifndef CALIFORMS_ALLOC_SECURE_MEM_HH
+#define CALIFORMS_ALLOC_SECURE_MEM_HH
+
+#include "sim/machine.hh"
+
+namespace califorms
+{
+
+/** Whitelisted memcpy: byte-wise copy of [src, src+n) to dst. */
+void secureMemcpy(Machine &machine, Addr dst, Addr src, std::size_t n);
+
+/** Whitelisted memset: fill [dst, dst+n) with @p value. */
+void secureMemset(Machine &machine, Addr dst, std::uint8_t value,
+                  std::size_t n);
+
+/** Whitelisted memcmp: -1/0/1 comparison of two ranges. */
+int secureMemcmp(Machine &machine, Addr a, Addr b, std::size_t n);
+
+} // namespace califorms
+
+#endif // CALIFORMS_ALLOC_SECURE_MEM_HH

@@ -1,0 +1,78 @@
+#include "alloc/stack.hh"
+
+#include <stdexcept>
+
+namespace califorms
+{
+
+StackAllocator::StackAllocator(Machine &machine, StackParams params)
+    : machine_(machine), params_(params), sp_(params.stackTop)
+{
+}
+
+void
+StackAllocator::enterFrame()
+{
+    frames_.push_back(Frame{sp_, {}});
+}
+
+Addr
+StackAllocator::allocateLocal(std::shared_ptr<const SecureLayout> layout)
+{
+    if (frames_.empty())
+        throw std::logic_error("allocateLocal: no open frame");
+    if (!layout)
+        throw std::invalid_argument("allocateLocal: null layout");
+
+    const std::size_t align = std::max<std::size_t>(layout->align, 8);
+    sp_ -= layout->size;
+    sp_ &= ~static_cast<Addr>(align - 1); // stack grows down, align down
+
+    Local local{sp_, layout};
+    califormLocal(local, true);
+    frames_.back().locals.push_back(local);
+    return local.addr;
+}
+
+void
+StackAllocator::leaveFrame()
+{
+    if (frames_.empty())
+        throw std::logic_error("leaveFrame: no open frame");
+    Frame frame = std::move(frames_.back());
+    frames_.pop_back();
+    // Dirty before use: unset on deallocation, newest locals first.
+    for (auto it = frame.locals.rbegin(); it != frame.locals.rend(); ++it)
+        califormLocal(*it, false);
+    sp_ = frame.sp;
+}
+
+void
+StackAllocator::califormLocal(const Local &local, bool set)
+{
+    if (!params_.useCform)
+        return;
+    // Gather the per-line masks the layout's spans induce.
+    const Addr first_line = lineBase(local.addr);
+    const Addr last_line = lineBase(local.addr + local.layout->size - 1);
+    for (Addr la = first_line; la <= last_line; la += lineBytes) {
+        SecurityMask mask = 0;
+        for (const auto &span : local.layout->securityBytes) {
+            for (std::size_t i = 0; i < span.size; ++i) {
+                const Addr b = local.addr + span.offset + i;
+                if (lineBase(b) == la)
+                    mask |= 1ull << lineOffset(b);
+            }
+        }
+        if (mask == 0)
+            continue;
+        CformOp op;
+        op.lineAddr = la;
+        op.setBits = set ? mask : 0;
+        op.mask = mask;
+        machine_.cform(op);
+        ++cforms_;
+    }
+}
+
+} // namespace califorms

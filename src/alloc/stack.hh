@@ -1,0 +1,74 @@
+/**
+ * @file stack.hh
+ * Califorms-aware stack frame allocator (Section 6.1).
+ *
+ * The stack follows the dirty-before-use discipline: security bytes are
+ * set when a frame's locals are created and unset when the frame is torn
+ * down, since use-after-return attacks are rare enough that the cheaper
+ * scheme suffices. Frames nest strictly; popping a frame un-califorms
+ * every object it owns.
+ */
+
+#ifndef CALIFORMS_ALLOC_STACK_HH
+#define CALIFORMS_ALLOC_STACK_HH
+
+#include <memory>
+#include <vector>
+
+#include "layout/policy.hh"
+#include "sim/machine.hh"
+
+namespace califorms
+{
+
+struct StackParams
+{
+    Addr stackTop = 0x7fff00000000ull; //!< stack grows down from here
+    bool useCform = true;
+};
+
+class StackAllocator
+{
+  public:
+    StackAllocator(Machine &machine, StackParams params = StackParams{});
+
+    /** Open a new frame (function entry). */
+    void enterFrame();
+
+    /**
+     * Allocate a local laid out per @p layout in the current frame and
+     * caliform its security bytes (dirty before use).
+     */
+    Addr allocateLocal(std::shared_ptr<const SecureLayout> layout);
+
+    /** Close the current frame, un-califorming every local. */
+    void leaveFrame();
+
+    std::size_t depth() const { return frames_.size(); }
+    std::uint64_t cformsIssued() const { return cforms_; }
+
+  private:
+    struct Local
+    {
+        Addr addr;
+        std::shared_ptr<const SecureLayout> layout;
+    };
+
+    struct Frame
+    {
+        Addr sp; //!< stack pointer at frame entry (for restore)
+        std::vector<Local> locals;
+    };
+
+    void califormLocal(const Local &local, bool set);
+
+    Machine &machine_;
+    StackParams params_;
+    Addr sp_;
+    std::uint64_t cforms_ = 0;
+    std::vector<Frame> frames_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_ALLOC_STACK_HH

@@ -1,0 +1,87 @@
+/**
+ * @file exception.hh
+ * The privileged Califorms exception (Section 4.2).
+ *
+ * Raised when a load or store touches a security byte, or when a CFORM
+ * instruction attempts an illegal transition (Table 1). The exception is
+ * precise — it carries the exact faulting byte address — and privileged:
+ * delivery is mediated by the OS layer, which may suppress it inside
+ * whitelisted windows (memcpy-style routines).
+ */
+
+#ifndef CALIFORMS_CORE_EXCEPTION_HH
+#define CALIFORMS_CORE_EXCEPTION_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace califorms
+{
+
+/** What kind of operation faulted. */
+enum class AccessKind
+{
+    Load,
+    Store,
+    Cform,
+};
+
+/** Why the exception was raised. */
+enum class FaultReason
+{
+    LoadSecurityByte,   //!< load touched a blacklisted byte
+    StoreSecurityByte,  //!< store touched a blacklisted byte
+    CformSetOnSecurity, //!< CFORM set a byte that is already a security byte
+    CformUnsetRegular,  //!< CFORM unset a byte that is a regular byte
+};
+
+/** A precise, privileged Califorms exception record. */
+struct CaliformsException
+{
+    Addr faultAddr = 0;     //!< exact faulting byte address
+    AccessKind kind = AccessKind::Load;
+    FaultReason reason = FaultReason::LoadSecurityByte;
+    Cycles cycle = 0;       //!< commit-time cycle of the faulting op
+
+    std::string describe() const;
+};
+
+inline std::string
+CaliformsException::describe()  const
+{
+    const char *k = kind == AccessKind::Load    ? "load"
+                    : kind == AccessKind::Store ? "store"
+                                                : "cform";
+    const char *r = "";
+    switch (reason) {
+      case FaultReason::LoadSecurityByte:
+        r = "load touched security byte";
+        break;
+      case FaultReason::StoreSecurityByte:
+        r = "store touched security byte";
+        break;
+      case FaultReason::CformSetOnSecurity:
+        r = "CFORM set on existing security byte";
+        break;
+      case FaultReason::CformUnsetRegular:
+        r = "CFORM unset on regular byte";
+        break;
+    }
+    return std::string("califorms exception: ") + r + " (" + k +
+           " at 0x" + [](Addr a) {
+               char buf[17];
+               static const char *digits = "0123456789abcdef";
+               int i = 16;
+               buf[i] = '\0';
+               do {
+                   buf[--i] = digits[a & 0xf];
+                   a >>= 4;
+               } while (a && i > 0);
+               return std::string(&buf[i]);
+           }(faultAddr) + ")";
+}
+
+} // namespace califorms
+
+#endif // CALIFORMS_CORE_EXCEPTION_HH

@@ -1,0 +1,107 @@
+#include "core/l1_variants.hh"
+
+#include <cassert>
+
+namespace califorms
+{
+
+namespace
+{
+
+/** Extract chunk @p c's 8-bit security vector from the line mask. */
+std::uint8_t
+chunkMask(SecurityMask mask, unsigned c)
+{
+    return static_cast<std::uint8_t>((mask >> (8 * c)) & 0xff);
+}
+
+} // namespace
+
+Cal4BLine
+encodeCal4B(const BitVectorLine &line)
+{
+    Cal4BLine out;
+    out.data = line.data;
+    for (unsigned c = 0; c < chunksPerLine; ++c) {
+        const std::uint8_t cm = chunkMask(line.mask, c);
+        if (cm == 0) {
+            out.meta[c] = 0;
+            continue;
+        }
+        // Store the bit vector in the chunk's first security byte; its
+        // own data slot is dead so nothing is lost.
+        const unsigned holder = findFirstOne(cm);
+        out.meta[c] = static_cast<std::uint8_t>(0x8 | holder);
+        out.data[c * chunkBytes + holder] = cm;
+    }
+    return out;
+}
+
+BitVectorLine
+decodeCal4B(const Cal4BLine &line)
+{
+    BitVectorLine out;
+    out.data = line.data;
+    for (unsigned c = 0; c < chunksPerLine; ++c) {
+        if (!(line.meta[c] & 0x8))
+            continue;
+        const unsigned holder = line.meta[c] & 0x7;
+        const std::uint8_t cm = line.data[c * chunkBytes + holder];
+        assert((cm >> holder) & 1 &&
+               "bit vector holder must itself be a security byte");
+        out.mask |= static_cast<SecurityMask>(cm) << (8 * c);
+    }
+    out.canonicalize(); // security bytes read as zero
+    return out;
+}
+
+Cal1BLine
+encodeCal1B(const BitVectorLine &line)
+{
+    Cal1BLine out;
+    out.data = line.data;
+    for (unsigned c = 0; c < chunksPerLine; ++c) {
+        const std::uint8_t cm = chunkMask(line.mask, c);
+        if (cm == 0)
+            continue;
+        out.meta |= 1u << c;
+        const unsigned base = c * chunkBytes;
+        if (!(cm & 1)) {
+            // Header byte 0 is a normal byte: relocate its value into the
+            // chunk's last security byte (Figure 15).
+            unsigned last = 0;
+            for (unsigned b = 0; b < 8; ++b)
+                if ((cm >> b) & 1)
+                    last = b;
+            out.data[base + last] = line.data[base];
+        }
+        out.data[base] = cm;
+    }
+    return out;
+}
+
+BitVectorLine
+decodeCal1B(const Cal1BLine &line)
+{
+    BitVectorLine out;
+    out.data = line.data;
+    for (unsigned c = 0; c < chunksPerLine; ++c) {
+        if (!((line.meta >> c) & 1))
+            continue;
+        const unsigned base = c * chunkBytes;
+        const std::uint8_t cm = line.data[base];
+        out.mask |= static_cast<SecurityMask>(cm) << (8 * c);
+        if (!(cm & 1)) {
+            // Restore the header byte from the last security byte.
+            unsigned last = 0;
+            for (unsigned b = 0; b < 8; ++b)
+                if ((cm >> b) & 1)
+                    last = b;
+            out.data[base] = line.data[base + last];
+        }
+    }
+    out.canonicalize();
+    return out;
+}
+
+} // namespace califorms

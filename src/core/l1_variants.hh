@@ -1,0 +1,71 @@
+/**
+ * @file l1_variants.hh
+ * Appendix A: the two denser L1 califorms-bitvector variants.
+ *
+ * Both divide the 64B line into eight 8B chunks and store each chunk's
+ * 8-bit security bit vector *inside* one of the chunk's own security
+ * bytes instead of in dedicated metadata SRAM:
+ *
+ *  - califorms-4B (Figure 14): 4 bits of metadata per chunk — one
+ *    "chunk califormed?" bit plus a 3-bit pointer to the byte holding the
+ *    bit vector. 4B of metadata per line.
+ *  - califorms-1B (Figure 15): 1 bit of metadata per chunk. The bit
+ *    vector always lives in the chunk's byte 0 (the header byte); if
+ *    byte 0 is a normal byte its original value is relocated into the
+ *    chunk's *last* security byte. 1B of metadata per line.
+ *
+ * These trade L1 hit latency for metadata area (Table 7); the codecs here
+ * give the variants a functional model so the trade-off can be tested and
+ * the VLSI model can report the same rows as the paper.
+ */
+
+#ifndef CALIFORMS_CORE_L1_VARIANTS_HH
+#define CALIFORMS_CORE_L1_VARIANTS_HH
+
+#include <array>
+
+#include "core/line.hh"
+
+namespace califorms
+{
+
+/** Chunks per line and bytes per chunk for both variants. */
+constexpr unsigned chunksPerLine = 8;
+constexpr unsigned chunkBytes = 8;
+
+/** Encoded line in the califorms-4B format. */
+struct Cal4BLine
+{
+    LineData data;
+    /** Per chunk: bit 3 = chunk califormed, bits 0..2 = index of the
+     *  byte holding the chunk's bit vector. */
+    std::array<std::uint8_t, chunksPerLine> meta{};
+
+    bool operator==(const Cal4BLine &other) const = default;
+};
+
+/** Encoded line in the califorms-1B format. */
+struct Cal1BLine
+{
+    LineData data;
+    /** Bit i = chunk i califormed. */
+    std::uint8_t meta = 0;
+
+    bool operator==(const Cal1BLine &other) const = default;
+};
+
+/** Encode an L1 line into the 4B variant. */
+Cal4BLine encodeCal4B(const BitVectorLine &line);
+
+/** Decode the 4B variant back to the plain bit vector format. */
+BitVectorLine decodeCal4B(const Cal4BLine &line);
+
+/** Encode an L1 line into the 1B variant. */
+Cal1BLine encodeCal1B(const BitVectorLine &line);
+
+/** Decode the 1B variant back to the plain bit vector format. */
+BitVectorLine decodeCal1B(const Cal1BLine &line);
+
+} // namespace califorms
+
+#endif // CALIFORMS_CORE_L1_VARIANTS_HH

@@ -1,0 +1,23 @@
+#include "core/line.hh"
+
+namespace califorms
+{
+
+bool
+BitVectorLine::canonical() const
+{
+    for (unsigned i = 0; i < lineBytes; ++i)
+        if (isSecurityByte(i) && data[i] != 0)
+            return false;
+    return true;
+}
+
+void
+BitVectorLine::canonicalize()
+{
+    for (unsigned i = 0; i < lineBytes; ++i)
+        if (isSecurityByte(i))
+            data[i] = 0;
+}
+
+} // namespace califorms

@@ -1,0 +1,85 @@
+/**
+ * @file line.hh
+ * Cache line representations used throughout the memory hierarchy.
+ *
+ * Two formats exist (Figure 1):
+ *  - BitVectorLine: the L1 resident format (califorms-bitvector,
+ *    Section 5.1). Data is stored naturally; a 64-bit vector marks which
+ *    bytes are security bytes. 8B of metadata per 64B line.
+ *  - SentinelLine: the L2-and-beyond format (califorms-sentinel,
+ *    Section 5.2). One metadata bit says whether the line is califormed;
+ *    if so, the security byte locations are encoded inside the line
+ *    itself using the header + sentinel scheme of Figure 7.
+ *
+ * The library keeps BitVectorLine canonical: a security byte's data slot
+ * always reads zero. CFORM zeroes bytes when blacklisting them and the
+ * fill conversion restores zeros, matching the paper's side-channel
+ * hardening (loads of security bytes return 0, Section 7.2) and the
+ * zero-on-free policy (Section 6.1).
+ */
+
+#ifndef CALIFORMS_CORE_LINE_HH
+#define CALIFORMS_CORE_LINE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/bitops.hh"
+#include "util/types.hh"
+
+namespace califorms
+{
+
+/** Bit i set means byte i of the line is a security byte. */
+using SecurityMask = std::uint64_t;
+
+/** Raw 64-byte payload of a cache line. */
+struct LineData
+{
+    std::array<std::uint8_t, lineBytes> bytes{};
+
+    std::uint8_t &operator[](std::size_t i) { return bytes[i]; }
+    const std::uint8_t &operator[](std::size_t i) const { return bytes[i]; }
+
+    bool operator==(const LineData &other) const = default;
+};
+
+/**
+ * L1 resident line: natural data plus a per-byte security bit vector
+ * (califorms-bitvector, Figure 5).
+ */
+struct BitVectorLine
+{
+    LineData data;
+    SecurityMask mask = 0;
+
+    bool califormed() const { return mask != 0; }
+    bool isSecurityByte(unsigned i) const { return testBit(mask, i); }
+
+    /**
+     * True if the canonical-form invariant holds: every security byte's
+     * data slot is zero.
+     */
+    bool canonical() const;
+
+    /** Zero the data under every security byte (restore canonical form). */
+    void canonicalize();
+
+    bool operator==(const BitVectorLine &other) const = default;
+};
+
+/**
+ * L2+/memory resident line: encoded payload plus the single califormed
+ * metadata bit (stored in spare ECC bits once in DRAM, Section 3).
+ */
+struct SentinelLine
+{
+    LineData raw;
+    bool califormed = false;
+
+    bool operator==(const SentinelLine &other) const = default;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_CORE_LINE_HH

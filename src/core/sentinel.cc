@@ -1,0 +1,220 @@
+#include "core/sentinel.hh"
+
+#include <cassert>
+#include <vector>
+
+namespace califorms
+{
+
+namespace
+{
+
+constexpr std::uint8_t low6Mask = 0x3f;
+
+/** Number of header bytes for a given security byte count. */
+unsigned
+headerBytes(unsigned count)
+{
+    return count >= 4 ? 4u : count;
+}
+
+/** Read a 6-bit field starting at bit @p bit of the first four bytes. */
+std::uint8_t
+readBits6(const LineData &raw, unsigned bit)
+{
+    std::uint32_t word = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        word |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+    return static_cast<std::uint8_t>((word >> bit) & low6Mask);
+}
+
+/**
+ * The deterministic relocation map shared by spill and fill: live header
+ * bytes (header offsets that are not security bytes) pair in order with
+ * the security byte slots at offsets >= header size. Because the
+ * positions are sorted, those slots are exactly positions[s..] where s is
+ * the number of security bytes inside the header — all of which appear in
+ * the header's address list, so fill can reconstruct the map from the
+ * header alone.
+ */
+struct Relocation
+{
+    std::vector<unsigned> liveHeader; //!< header offsets holding data
+    std::vector<unsigned> targets;    //!< slots their data moves to
+};
+
+Relocation
+relocationMap(const std::vector<unsigned> &positions, unsigned hdr)
+{
+    Relocation r;
+    unsigned s = 0;
+    for (unsigned p : positions)
+        if (p < hdr)
+            ++s;
+    for (unsigned j = 0; j < hdr; ++j) {
+        bool is_security = false;
+        for (unsigned p : positions) {
+            if (p == j) {
+                is_security = true;
+                break;
+            }
+            if (p > j)
+                break;
+        }
+        if (!is_security)
+            r.liveHeader.push_back(j);
+    }
+    for (unsigned i = s; i < positions.size() && r.targets.size() <
+             r.liveHeader.size(); ++i) {
+        assert(positions[i] >= hdr);
+        r.targets.push_back(positions[i]);
+    }
+    assert(r.targets.size() == r.liveHeader.size());
+    return r;
+}
+
+std::vector<unsigned>
+maskPositions(SecurityMask mask)
+{
+    std::vector<unsigned> positions;
+    for (unsigned i = 0; i < lineBytes; ++i)
+        if (testBit(mask, i))
+            positions.push_back(i);
+    return positions;
+}
+
+} // namespace
+
+std::optional<std::uint8_t>
+findSentinel(const BitVectorLine &line)
+{
+    if (line.mask == 0)
+        return std::nullopt;
+    // Build the used-values vector over normal bytes (Figure 8), then
+    // find the first unused pattern.
+    std::uint64_t used = 0;
+    for (unsigned i = 0; i < lineBytes; ++i)
+        if (!line.isSecurityByte(i))
+            used |= 1ull << (line.data[i] & low6Mask);
+    const unsigned free_idx = findFirstZero(used);
+    assert(free_idx < 64 && "pigeonhole guarantees a free pattern");
+    return static_cast<std::uint8_t>(free_idx);
+}
+
+SentinelLine
+spillLine(const BitVectorLine &line)
+{
+    SentinelLine out;
+    // Algorithm 1 lines 1-3: OR of the metadata decides the format.
+    if (line.mask == 0) {
+        out.raw = line.data;
+        out.califormed = false;
+        return out;
+    }
+
+    out.califormed = true;
+    out.raw = line.data;
+
+    const auto positions = maskPositions(line.mask);
+    const auto count = static_cast<unsigned>(positions.size());
+    const unsigned hdr = headerBytes(count);
+    const std::uint8_t sentinel = *findSentinel(line);
+
+    // Relocate live header data into security slots beyond the header.
+    const Relocation reloc = relocationMap(positions, hdr);
+    for (std::size_t i = 0; i < reloc.liveHeader.size(); ++i)
+        out.raw[reloc.targets[i]] = line.data[reloc.liveHeader[i]];
+
+    // Mark every remaining security byte (past the relocation targets)
+    // with the sentinel. Only possible for the 4+ case, but harmless in
+    // general.
+    {
+        unsigned s = 0;
+        for (unsigned p : positions)
+            if (p < hdr)
+                ++s;
+        for (std::size_t i = s + reloc.targets.size();
+             i < positions.size(); ++i)
+            out.raw[positions[i]] = sentinel;
+    }
+
+    // Assemble the header bitstream (Figure 7): 2-bit count code then
+    // 6-bit addresses, and for 4+ security bytes the sentinel.
+    std::uint32_t word = (count >= 4 ? 3u : count - 1);
+    unsigned bit = 2;
+    for (unsigned j = 0; j < hdr; ++j, bit += 6)
+        word |= static_cast<std::uint32_t>(positions[j] & low6Mask) << bit;
+    if (count >= 4)
+        word |= static_cast<std::uint32_t>(sentinel) << 26;
+    for (unsigned j = 0; j < hdr; ++j)
+        out.raw[j] = static_cast<std::uint8_t>((word >> (8 * j)) & 0xff);
+
+    return out;
+}
+
+BitVectorLine
+fillLine(const SentinelLine &line)
+{
+    BitVectorLine out;
+    // Algorithm 2 lines 1-3.
+    if (!line.califormed) {
+        out.data = line.raw;
+        out.mask = 0;
+        return out;
+    }
+
+    const unsigned code = line.raw[0] & 0x3;
+    const unsigned hdr = code + 1 <= 4 ? code + 1 : 4;
+
+    std::vector<unsigned> positions;
+    for (unsigned j = 0; j < hdr; ++j)
+        positions.push_back(readBits6(line.raw, 2 + 6 * j));
+
+    SecurityMask mask = 0;
+    for (unsigned p : positions)
+        mask |= 1ull << p;
+
+    // 4+ case: scan bytes [4, 64) for the sentinel (Figure 9 wires the
+    // comparators to bytes 4..63 only).
+    if (code == 3) {
+        const std::uint8_t sentinel = readBits6(line.raw, 26);
+        for (unsigned i = 4; i < lineBytes; ++i)
+            if ((line.raw[i] & low6Mask) == sentinel)
+                mask |= 1ull << i;
+    }
+
+    out.mask = mask;
+    out.data = line.raw;
+
+    // Undo the relocation: positions must be the full sorted list for the
+    // map to be reconstructed, so rebuild it from the decoded mask.
+    const auto all_positions = maskPositions(mask);
+    const Relocation reloc = relocationMap(all_positions, hdr);
+    for (std::size_t i = 0; i < reloc.liveHeader.size(); ++i)
+        out.data[reloc.liveHeader[i]] = line.raw[reloc.targets[i]];
+
+    // Security bytes read as zero (Algorithm 2 line 10).
+    out.canonicalize();
+    return out;
+}
+
+SecurityMask
+decodeMask(const SentinelLine &line)
+{
+    if (!line.califormed)
+        return 0;
+    const unsigned code = line.raw[0] & 0x3;
+    const unsigned hdr = code + 1 <= 4 ? code + 1 : 4;
+    SecurityMask mask = 0;
+    for (unsigned j = 0; j < hdr; ++j)
+        mask |= 1ull << readBits6(line.raw, 2 + 6 * j);
+    if (code == 3) {
+        const std::uint8_t sentinel = readBits6(line.raw, 26);
+        for (unsigned i = 4; i < lineBytes; ++i)
+            if ((line.raw[i] & low6Mask) == sentinel)
+                mask |= 1ull << i;
+    }
+    return mask;
+}
+
+} // namespace califorms

@@ -1,0 +1,165 @@
+#include "layout/corpus.hh"
+
+#include <string>
+
+#include "util/rng.hh"
+
+namespace califorms
+{
+
+CorpusParams
+specCorpusParams()
+{
+    CorpusParams p;
+    p.structCount = 2000;
+    p.packedFraction = 1.0 - 0.457; // 45.7% padded (Figure 3a)
+    p.pointerWeight = 0.12;
+    p.arrayWeight = 0.18;
+    p.nestWeight = 0.05;
+    return p;
+}
+
+CorpusParams
+v8CorpusParams()
+{
+    CorpusParams p;
+    p.structCount = 2000;
+    p.packedFraction = 1.0 - 0.410; // 41.0% padded (Figure 3b)
+    p.pointerWeight = 0.30;         // engine objects are pointer heavy
+    p.arrayWeight = 0.08;
+    p.nestWeight = 0.08;
+    return p;
+}
+
+namespace
+{
+
+/** Scalar palette with weights skewed toward int/char like real C code. */
+TypePtr
+drawScalar(Rng &rng)
+{
+    switch (rng.nextBelow(10)) {
+      case 0:
+      case 1:
+        return Type::charType();
+      case 2:
+        return Type::shortType();
+      case 3:
+      case 4:
+      case 5:
+        return Type::intType();
+      case 6:
+        return Type::longType();
+      case 7:
+        return Type::floatType();
+      default:
+        return Type::doubleType();
+    }
+}
+
+TypePtr
+drawFieldType(Rng &rng, const CorpusParams &params,
+              const std::vector<StructDefPtr> &done)
+{
+    const double roll = rng.nextDouble();
+    if (roll < params.pointerWeight)
+        return rng.chance(0.2) ? Type::functionPointer() : Type::pointer();
+    if (roll < params.pointerWeight + params.arrayWeight) {
+        // Char buffers dominate real-world arrays; keep lengths modest so
+        // structs stay allocatable in cache-scale working sets.
+        if (rng.chance(0.6))
+            return Type::array(Type::charType(), rng.nextRange(2, 64));
+        return Type::array(Type::intType(), rng.nextRange(2, 32));
+    }
+    if (roll < params.pointerWeight + params.arrayWeight +
+                   params.nestWeight &&
+        !done.empty()) {
+        // Nest a small previously generated struct.
+        const auto &candidate = done[rng.nextBelow(done.size())];
+        if (candidate->size() <= 128)
+            return Type::structure(candidate);
+    }
+    return drawScalar(rng);
+}
+
+/** A struct whose fields are all the same scalar — density exactly 1. */
+StructDefPtr
+makePacked(Rng &rng, std::size_t index, const CorpusParams &params)
+{
+    const std::size_t n =
+        rng.nextRange(params.minFields, params.maxFields);
+    const TypePtr t = drawScalar(rng);
+    std::vector<Field> fields;
+    fields.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        fields.push_back({"f" + std::to_string(i), t});
+    return std::make_shared<StructDef>("packed" + std::to_string(index),
+                                       std::move(fields));
+}
+
+/** A struct with mixed field types, repaired to contain >=1 padding. */
+StructDefPtr
+makePadded(Rng &rng, std::size_t index, const CorpusParams &params,
+           const std::vector<StructDefPtr> &done)
+{
+    const std::size_t n =
+        rng.nextRange(std::max<std::size_t>(params.minFields, 2),
+                      params.maxFields);
+    std::vector<Field> fields;
+    fields.reserve(n + 2);
+    for (std::size_t i = 0; i < n; ++i)
+        fields.push_back(
+            {"f" + std::to_string(i), drawFieldType(rng, params, done)});
+
+    auto def = std::make_shared<StructDef>("mixed" + std::to_string(index),
+                                           fields);
+    if (def->layout().paddingBytes() == 0) {
+        // Repair: a trailing char under a wider alignment forces tail
+        // padding; if everything is byte aligned, prepend a char before
+        // an int instead (the Listing 1 pattern).
+        if (def->align() > 1) {
+            fields.push_back({"tail", Type::charType()});
+        } else {
+            fields.insert(fields.begin(), {"c0", Type::charType()});
+            fields.insert(fields.begin() + 1, {"i0", Type::intType()});
+        }
+        def = std::make_shared<StructDef>("mixed" + std::to_string(index),
+                                          std::move(fields));
+    }
+    return def;
+}
+
+} // namespace
+
+std::vector<StructDefPtr>
+generateCorpus(const CorpusParams &params, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<StructDefPtr> corpus;
+    corpus.reserve(params.structCount);
+
+    const auto packed_target = static_cast<std::size_t>(
+        params.packedFraction * static_cast<double>(params.structCount) +
+        0.5);
+
+    // Interleave packed and padded structs pseudo-randomly so nesting can
+    // pick up both kinds, while hitting the packed target exactly.
+    std::size_t packed_left = packed_target;
+    std::size_t padded_left = params.structCount - packed_target;
+    for (std::size_t i = 0; i < params.structCount; ++i) {
+        const bool pick_packed =
+            padded_left == 0 ||
+            (packed_left > 0 &&
+             rng.nextBelow(packed_left + padded_left) < packed_left);
+        if (pick_packed) {
+            corpus.push_back(makePacked(rng, i, params));
+            --packed_left;
+        } else {
+            corpus.push_back(makePadded(rng, i, params, corpus));
+            --padded_left;
+        }
+    }
+    return corpus;
+}
+
+} // namespace califorms

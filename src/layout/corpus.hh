@@ -1,0 +1,59 @@
+/**
+ * @file corpus.hh
+ * Synthetic struct corpora standing in for the SPEC CPU2006 sources and
+ * the V8 JavaScript engine (Figure 3).
+ *
+ * We cannot ship SPEC or V8 sources, so the corpus generator draws struct
+ * definitions from a tunable distribution of field counts and field types.
+ * The two presets are calibrated so the fraction of structs with at least
+ * one padding byte matches the paper: 45.7% for the SPEC-like corpus and
+ * 41.0% for the V8-like corpus. Workload kernels allocate instances of
+ * these structs, so the same corpus drives both the static density pass
+ * and the dynamic experiments.
+ */
+
+#ifndef CALIFORMS_LAYOUT_CORPUS_HH
+#define CALIFORMS_LAYOUT_CORPUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/type.hh"
+
+namespace califorms
+{
+
+/** Distribution parameters for the corpus generator. */
+struct CorpusParams
+{
+    std::size_t structCount = 2000;
+    /** Target fraction of structs with zero padding bytes. */
+    double packedFraction = 0.543;
+    /** Probability a padded-struct field is a pointer. */
+    double pointerWeight = 0.15;
+    /** Probability a padded-struct field is an array. */
+    double arrayWeight = 0.15;
+    /** Probability of nesting a previously generated struct as a field. */
+    double nestWeight = 0.05;
+    /** Minimum / maximum number of fields per struct. */
+    std::size_t minFields = 1;
+    std::size_t maxFields = 16;
+};
+
+/** SPEC CPU2006-like preset (45.7% of structs padded). */
+CorpusParams specCorpusParams();
+
+/** V8-like preset (41.0% of structs padded; more pointer heavy). */
+CorpusParams v8CorpusParams();
+
+/**
+ * Generate a corpus. Deterministic in @p seed. Every returned struct has
+ * at least one field, and the realized packed fraction matches the target
+ * exactly (the generator repairs structs that land on the wrong side).
+ */
+std::vector<StructDefPtr> generateCorpus(const CorpusParams &params,
+                                         std::uint64_t seed);
+
+} // namespace califorms
+
+#endif // CALIFORMS_LAYOUT_CORPUS_HH

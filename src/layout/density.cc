@@ -1,0 +1,33 @@
+#include "layout/density.hh"
+
+namespace califorms
+{
+
+double
+DensityReport::paddedFraction() const
+{
+    if (structCount == 0)
+        return 0.0;
+    return static_cast<double>(paddedCount) /
+           static_cast<double>(structCount);
+}
+
+DensityReport
+analyzeDensity(const std::vector<StructDefPtr> &corpus)
+{
+    DensityReport report;
+    for (const auto &def : corpus) {
+        if (!def)
+            continue;
+        const auto &layout = def->layout();
+        ++report.structCount;
+        if (layout.paddingBytes() > 0)
+            ++report.paddedCount;
+        report.totalPaddingBytes += layout.paddingBytes();
+        report.totalFieldBytes += layout.size - layout.paddingBytes();
+        report.histogram.add(layout.density());
+    }
+    return report;
+}
+
+} // namespace califorms

@@ -1,0 +1,37 @@
+#include "os/exception_unit.hh"
+
+#include <stdexcept>
+
+namespace califorms
+{
+
+bool
+ExceptionUnit::raise(const CaliformsException &e)
+{
+    if (mask_depth_ > 0) {
+        suppressed_.push_back(e);
+        return false;
+    }
+    delivered_.push_back(e);
+    if (policy_ == Policy::Terminate)
+        terminated_ = true;
+    return true;
+}
+
+void
+ExceptionUnit::unmaskExceptions()
+{
+    if (mask_depth_ == 0)
+        throw std::logic_error("ExceptionUnit: unbalanced unmask");
+    --mask_depth_;
+}
+
+void
+ExceptionUnit::clearLogs()
+{
+    delivered_.clear();
+    suppressed_.clear();
+    terminated_ = false;
+}
+
+} // namespace califorms

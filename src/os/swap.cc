@@ -1,0 +1,55 @@
+#include "os/swap.hh"
+
+#include <stdexcept>
+
+namespace califorms
+{
+
+std::uint64_t
+SwapManager::swapOut(Addr page_base)
+{
+    if (pageBase(page_base) != page_base)
+        throw std::invalid_argument("swapOut: not a page base");
+    if (disk_.count(page_base))
+        throw std::logic_error("swapOut: page already swapped out");
+
+    SwappedPage page;
+    page.payload.reserve(linesPerPage);
+    for (std::size_t i = 0; i < linesPerPage; ++i) {
+        const Addr la = page_base + i * lineBytes;
+        const SentinelLine line = memory_.readLine(la);
+        page.payload.push_back(line.raw);
+        if (line.califormed)
+            page.metadata |= 1ull << i;
+        // The frame is released; model reuse by zeroing it.
+        memory_.writeLine(la, SentinelLine{});
+    }
+    const std::uint64_t meta = page.metadata;
+    disk_.emplace(page_base, std::move(page));
+    return meta;
+}
+
+void
+SwapManager::swapIn(Addr page_base)
+{
+    auto it = disk_.find(page_base);
+    if (it == disk_.end())
+        throw std::logic_error("swapIn: page not swapped out");
+
+    const SwappedPage &page = it->second;
+    for (std::size_t i = 0; i < linesPerPage; ++i) {
+        SentinelLine line;
+        line.raw = page.payload[i];
+        line.califormed = (page.metadata >> i) & 1;
+        memory_.writeLine(page_base + i * lineBytes, line);
+    }
+    disk_.erase(it);
+}
+
+bool
+SwapManager::isSwappedOut(Addr page_base) const
+{
+    return disk_.count(page_base) != 0;
+}
+
+} // namespace califorms

@@ -1,0 +1,98 @@
+#include "security/attacks.hh"
+
+#include <set>
+
+namespace califorms
+{
+
+ScanResult
+AttackSimulator::linearScan(Addr start, std::size_t len)
+{
+    ScanResult result;
+    const std::size_t before = machine_.exceptions().deliveredCount();
+    for (std::size_t i = 0; i < len; ++i) {
+        machine_.load(start + i, 1);
+        if (machine_.exceptions().deliveredCount() > before) {
+            result.detected = true;
+            result.bytesScanned = i;
+            return result;
+        }
+    }
+    result.bytesScanned = len;
+    return result;
+}
+
+ProbeResult
+AttackSimulator::randomProbes(const std::vector<Addr> &objects,
+                              std::size_t object_size,
+                              std::size_t budget)
+{
+    ProbeResult result;
+    const std::size_t before = machine_.exceptions().deliveredCount();
+    for (std::size_t i = 0; i < budget; ++i) {
+        const Addr obj = objects[rng_.nextBelow(objects.size())];
+        machine_.load(obj + rng_.nextBelow(object_size), 1);
+        ++result.probes;
+        if (machine_.exceptions().deliveredCount() > before) {
+            result.detected = true;
+            return result;
+        }
+    }
+    return result;
+}
+
+BropResult
+AttackSimulator::bropAttack(const StructDef &def, InsertionPolicy policy,
+                            PolicyParams params, std::size_t target_field,
+                            std::size_t max_crashes, bool rerandomize)
+{
+    BropResult result;
+    std::set<std::size_t> known_crash_offsets;
+    std::uint64_t victim_seed = rng_.next();
+
+    HeapAllocator heap(machine_);
+    while (result.crashes <= max_crashes) {
+        // (Re)spawn the victim.
+        LayoutTransformer t(policy, params,
+                            rerandomize ? victim_seed + result.crashes
+                                        : victim_seed);
+        auto layout =
+            std::make_shared<SecureLayout>(t.transform(def));
+        const Addr obj = heap.allocate(layout);
+        const std::size_t target = layout->fields.at(target_field).offset;
+
+        // One victim lifetime: probe ascending offsets the attacker
+        // does not know to be fatal. Probes use stores (the attacker
+        // wants to corrupt the field).
+        bool crashed = false;
+        const std::size_t before =
+            machine_.exceptions().deliveredCount();
+        for (std::size_t off = 0; off < layout->size; ++off) {
+            if (!rerandomize && known_crash_offsets.count(off))
+                continue; // accumulated knowledge from prior lives
+            machine_.store(obj + off, 1, 0x41);
+            ++result.probes;
+            if (machine_.exceptions().deliveredCount() > before) {
+                crashed = true;
+                if (!rerandomize)
+                    known_crash_offsets.insert(off);
+                break;
+            }
+            if (off == target) {
+                result.succeeded = true;
+                heap.free(obj);
+                return result;
+            }
+        }
+        heap.free(obj);
+        if (!crashed) {
+            // Walked the whole object without crashing or hitting the
+            // target (cannot happen with target < size, but be safe).
+            return result;
+        }
+        ++result.crashes;
+    }
+    return result;
+}
+
+} // namespace califorms

@@ -1,0 +1,101 @@
+/**
+ * @file attacks.hh
+ * Attack simulations for the Section 7.3 security analysis.
+ *
+ * The threat model: the attacker has arbitrary read/write primitives
+ * and source-level knowledge (struct definitions, field order) but not
+ * the host binary — so the realized random security byte layout is
+ * unknown. Every touch of a security byte raises the privileged
+ * exception; under continuous monitoring that is a crash (and, for the
+ * BROP discussion, a respawn).
+ *
+ * Three attacks are modeled:
+ *  - linear scan: sweep memory looking for a target; detection time is
+ *    geometric in the security byte density.
+ *  - blind guessing: probe random (object, offset) pairs; survival of
+ *    O probes follows (1 - P/N)^O.
+ *  - BROP-style respawn (Bittau et al., referenced by the paper): the
+ *    victim restarts after each crash. If it restarts with the *same*
+ *    layout the attacker accumulates knowledge and wins in at most
+ *    sizeof(object) crashes; if each respawn re-randomizes the padding
+ *    (the paper's proposed mitigation) the accumulated knowledge is
+ *    useless and the expected cost explodes.
+ */
+
+#ifndef CALIFORMS_SECURITY_ATTACKS_HH
+#define CALIFORMS_SECURITY_ATTACKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/heap.hh"
+#include "layout/policy.hh"
+#include "util/rng.hh"
+
+namespace califorms
+{
+
+/** Result of a linear memory scan attack. */
+struct ScanResult
+{
+    bool detected = false;
+    std::size_t bytesScanned = 0; //!< bytes read before detection
+};
+
+/** Result of a blind random-probe attack. */
+struct ProbeResult
+{
+    bool detected = false;
+    std::size_t probes = 0;
+};
+
+/** Result of a BROP-style respawning attack. */
+struct BropResult
+{
+    bool succeeded = false;   //!< attacker reached the target field
+    std::size_t crashes = 0;  //!< victim respawns consumed
+    std::size_t probes = 0;   //!< total probe writes issued
+};
+
+/**
+ * Drives attacks against califormed objects on a simulated machine.
+ * All randomness is seeded for reproducibility.
+ */
+class AttackSimulator
+{
+  public:
+    AttackSimulator(Machine &machine, std::uint64_t seed)
+        : machine_(machine), rng_(seed)
+    {}
+
+    /** Read [start, start+len) byte by byte until a security byte
+     *  trips the blacklist. */
+    ScanResult linearScan(Addr start, std::size_t len);
+
+    /** Probe random bytes of random objects until detection or
+     *  @p budget probes. */
+    ProbeResult randomProbes(const std::vector<Addr> &objects,
+                             std::size_t object_size,
+                             std::size_t budget);
+
+    /**
+     * BROP-style attack against a victim struct of type @p def
+     * protected by @p policy. The attacker wants to write the byte at
+     * @p target_field's offset. Each crash respawns the victim; if
+     * @p rerandomize, the respawn uses a fresh layout seed (the
+     * paper's mitigation), otherwise the same layout returns and crash
+     * offsets stay meaningful. The attacker probes offsets in
+     * ascending order, skipping offsets known to crash.
+     */
+    BropResult bropAttack(const StructDef &def, InsertionPolicy policy,
+                          PolicyParams params, std::size_t target_field,
+                          std::size_t max_crashes, bool rerandomize);
+
+  private:
+    Machine &machine_;
+    Rng rng_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SECURITY_ATTACKS_HH

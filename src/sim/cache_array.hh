@@ -1,0 +1,222 @@
+/**
+ * @file cache_array.hh
+ * A generic set-associative cache array with true-LRU replacement,
+ * parameterized on the stored line payload. The L1 data cache stores
+ * BitVectorLine payloads (califorms-bitvector); L2 and L3 store
+ * SentinelLine payloads (califorms-sentinel). Timing lives in the
+ * hierarchy (memsys.hh); this class is purely the tag/data array.
+ */
+
+#ifndef CALIFORMS_SIM_CACHE_ARRAY_HH
+#define CALIFORMS_SIM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace califorms
+{
+
+/** Hit/miss/eviction counters for one cache level. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+
+    double
+    missRate() const
+    {
+        const auto total = hits + misses;
+        return total ? static_cast<double>(misses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+template <typename LineT>
+class CacheArray
+{
+  public:
+    /** A line pushed out by insert(). */
+    struct Evicted
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr lineAddr = 0;
+        LineT line{};
+    };
+
+    CacheArray(std::size_t size_bytes, unsigned ways)
+        : ways_(ways),
+          sets_(ways ? size_bytes / (lineBytes * ways) : 0)
+    {
+        if (ways == 0 || sets_ == 0 ||
+            size_bytes % (lineBytes * ways) != 0) {
+            throw std::invalid_argument("CacheArray: bad geometry");
+        }
+        entries_.resize(sets_ * ways_);
+    }
+
+    /** Look up @p line_addr; on a hit return the payload (LRU updated)
+     *  and optionally mark it dirty. Null on miss. Counts stats. */
+    LineT *
+    access(Addr line_addr, bool make_dirty)
+    {
+        Entry *e = lookup(line_addr);
+        if (!e) {
+            ++stats_.misses;
+            return nullptr;
+        }
+        ++stats_.hits;
+        e->lru = ++clock_;
+        e->dirty = e->dirty || make_dirty;
+        return &e->line;
+    }
+
+    /** Look up without touching stats or LRU (functional peeks). */
+    LineT *
+    peek(Addr line_addr)
+    {
+        Entry *e = lookup(line_addr);
+        return e ? &e->line : nullptr;
+    }
+
+    const LineT *
+    peek(Addr line_addr) const
+    {
+        return const_cast<CacheArray *>(this)->peek(line_addr);
+    }
+
+    /** Insert a line, evicting the LRU way if the set is full. An
+     *  existing copy of the same line is overwritten in place with the
+     *  dirty bits merged. */
+    Evicted
+    insert(Addr line_addr, LineT line, bool dirty)
+    {
+        const std::size_t set = setIndex(line_addr);
+        Entry *match = nullptr;
+        Entry *invalid = nullptr;
+        Entry *lru = nullptr;
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = entries_[set * ways_ + w];
+            if (e.valid && e.lineAddr == line_addr) {
+                match = &e;
+                break;
+            }
+            if (!e.valid) {
+                if (!invalid)
+                    invalid = &e;
+            } else if (!lru || e.lru < lru->lru) {
+                lru = &e;
+            }
+        }
+
+        Evicted out;
+        Entry *slot = match ? match : (invalid ? invalid : lru);
+        const bool in_place = match != nullptr;
+        if (!in_place && slot->valid) {
+            out.valid = true;
+            out.dirty = slot->dirty;
+            out.lineAddr = slot->lineAddr;
+            out.line = std::move(slot->line);
+            ++stats_.evictions;
+            if (slot->dirty)
+                ++stats_.dirtyEvictions;
+        }
+        slot->valid = true;
+        slot->dirty = in_place ? (slot->dirty || dirty) : dirty;
+        slot->lineAddr = line_addr;
+        slot->line = std::move(line);
+        slot->lru = ++clock_;
+        return out;
+    }
+
+    /** Set the dirty bit of a resident line (no stats/LRU effect). */
+    void
+    markDirty(Addr line_addr)
+    {
+        if (Entry *e = lookup(line_addr))
+            e->dirty = true;
+    }
+
+    /** Remove @p line_addr if present; returns true and fills the outs. */
+    bool
+    extract(Addr line_addr, LineT &line_out, bool &dirty_out)
+    {
+        Entry *e = lookup(line_addr);
+        if (!e)
+            return false;
+        line_out = std::move(e->line);
+        dirty_out = e->dirty;
+        e->valid = false;
+        e->dirty = false;
+        return true;
+    }
+
+    /** Visit every valid line (used by flush). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        for (auto &e : entries_)
+            if (e.valid)
+                fn(e.lineAddr, e.line, e.dirty);
+    }
+
+    /** Drop everything without write-back (only safe after a flush). */
+    void
+    reset()
+    {
+        for (auto &e : entries_) {
+            e.valid = false;
+            e.dirty = false;
+        }
+    }
+
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+    std::size_t sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr lineAddr = 0;
+        std::uint64_t lru = 0;
+        LineT line{};
+    };
+
+    std::size_t
+    setIndex(Addr line_addr) const
+    {
+        return static_cast<std::size_t>((line_addr >> lineShift) % sets_);
+    }
+
+    Entry *
+    lookup(Addr line_addr)
+    {
+        const std::size_t set = setIndex(line_addr);
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = entries_[set * ways_ + w];
+            if (e.valid && e.lineAddr == line_addr)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    unsigned ways_;
+    std::size_t sets_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_;
+    CacheStats stats_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_CACHE_ARRAY_HH

@@ -1,0 +1,58 @@
+#include "sim/core_model.hh"
+
+namespace califorms
+{
+
+double
+CoreModel::penalty(Cycles latency) const
+{
+    return latency > l1Hit_ ? static_cast<double>(latency - l1Hit_) : 0.0;
+}
+
+void
+CoreModel::retireCompute(std::uint32_t ops)
+{
+    acc_ += static_cast<double>(1 + ops) /
+            static_cast<double>(params_.issueWidth);
+    instructions_ += 1 + ops;
+}
+
+void
+CoreModel::retireLoad(Cycles latency, bool depends_on_prev)
+{
+    ++instructions_;
+    if (depends_on_prev) {
+        // Address-dependent chain: nothing to overlap with.
+        acc_ += static_cast<double>(latency);
+        return;
+    }
+    acc_ += 1.0 / static_cast<double>(params_.issueWidth) +
+            penalty(latency) / static_cast<double>(params_.mlp);
+}
+
+void
+CoreModel::retireStore(Cycles latency)
+{
+    ++instructions_;
+    acc_ += 1.0 / static_cast<double>(params_.issueWidth) +
+            penalty(latency) * params_.storeMissWeight /
+                static_cast<double>(params_.mlp);
+}
+
+void
+CoreModel::retireCform(Cycles latency)
+{
+    ++instructions_;
+    acc_ += 1.0 / static_cast<double>(params_.issueWidth) +
+            penalty(latency) * params_.cformMissWeight /
+                static_cast<double>(params_.mlp);
+}
+
+void
+CoreModel::reset()
+{
+    acc_ = 0.0;
+    instructions_ = 0;
+}
+
+} // namespace califorms

@@ -1,0 +1,78 @@
+/**
+ * @file core_model.hh
+ * Analytical out-of-order core approximation.
+ *
+ * The paper evaluates on ZSim's validated Westmere-like OoO model; a full
+ * cycle-level core is out of scope for this library, but the experiments
+ * only need the first-order effects an OoO window produces:
+ *
+ *  - up to issueWidth micro-ops retire per cycle when nothing stalls;
+ *  - a load whose *address* depends on the previous memory op (pointer
+ *    chasing) exposes its full latency;
+ *  - independent misses overlap: the window hides all but 1/mlp of the
+ *    miss penalty;
+ *  - store misses are mostly absorbed by the store buffer (weighted by
+ *    storeMissWeight before the MLP division).
+ *
+ * Cost model per retired op (penalty = latency beyond the L1 hit time):
+ *
+ *   compute            (1 + ops) / width
+ *   dependent load     latency                      (full serialization)
+ *   independent load   1/width + penalty / mlp
+ *   store or CFORM     1/width + penalty * storeMissWeight / mlp
+ *
+ * This keeps the model deterministic, monotonic in every cache latency,
+ * and sensitive to exactly the effects Figures 4 and 10-12 measure.
+ */
+
+#ifndef CALIFORMS_SIM_CORE_MODEL_HH
+#define CALIFORMS_SIM_CORE_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/params.hh"
+
+namespace califorms
+{
+
+/** Streaming cycle accumulator for the OoO approximation. */
+class CoreModel
+{
+  public:
+    CoreModel(const CoreParams &params, Cycles l1_hit_latency)
+        : params_(params), l1Hit_(l1_hit_latency)
+    {}
+
+    /** Account a block of pure ALU work (@p ops micro-ops). */
+    void retireCompute(std::uint32_t ops);
+
+    /** Account a load that completed in @p latency cycles. */
+    void retireLoad(Cycles latency, bool depends_on_prev);
+
+    /** Account a store that completed in @p latency cycles. */
+    void retireStore(Cycles latency);
+
+    /** Account a CFORM: store-like issue, but weakly overlapped
+     *  (Section 5.3 forwarding/serialization rules). */
+    void retireCform(Cycles latency);
+
+    /** Total simulated cycles so far. */
+    Cycles cycles() const { return static_cast<Cycles>(acc_); }
+
+    /** Retired instruction count (for IPC reporting). */
+    std::uint64_t instructions() const { return instructions_; }
+
+    void reset();
+
+  private:
+    double penalty(Cycles latency) const;
+
+    CoreParams params_;
+    Cycles l1Hit_;
+    double acc_ = 0.0;
+    std::uint64_t instructions_ = 0;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_CORE_MODEL_HH

@@ -1,0 +1,112 @@
+#include "sim/lsq.hh"
+
+#include <stdexcept>
+
+namespace califorms
+{
+
+bool
+LoadStoreQueue::overlaps(const Entry &e, Addr addr, unsigned size)
+{
+    if (e.isCform) {
+        const Addr la = lineBase(addr);
+        const Addr lb = lineBase(addr + size - 1);
+        for (Addr l = la; l <= lb; l += lineBytes) {
+            if (l != e.cform.lineAddr)
+                continue;
+            const unsigned lo = l == la ? lineOffset(addr) : 0;
+            const unsigned hi = l == lb
+                                    ? lineOffset(addr + size - 1) + 1
+                                    : static_cast<unsigned>(lineBytes);
+            if (e.cform.mask & bitRange(lo, hi - lo))
+                return true;
+        }
+        return false;
+    }
+    return addr < e.addr + e.size && e.addr < addr + size;
+}
+
+LoadStoreQueue::StoreResult
+LoadStoreQueue::pushStore(Addr addr, unsigned size, std::uint64_t value)
+{
+    if (full())
+        throw std::logic_error("LSQ: push on full queue");
+    StoreResult res;
+    // Section 5.3: a younger store matching an in-flight CFORM is marked
+    // for the Califorms exception at commit.
+    for (const Entry &e : entries_)
+        if (e.isCform && overlaps(e, addr, size))
+            res.cformConflict = true;
+    entries_.push_back(Entry{false, addr, size, value, {}});
+    return res;
+}
+
+void
+LoadStoreQueue::pushCform(const CformOp &op)
+{
+    if (full())
+        throw std::logic_error("LSQ: push on full queue");
+    Entry e;
+    e.isCform = true;
+    e.addr = op.lineAddr;
+    e.size = lineBytes;
+    e.cform = op;
+    entries_.push_back(e);
+}
+
+LoadStoreQueue::LoadResult
+LoadStoreQueue::load(Addr addr, unsigned size,
+                     const ByteReader &reader) const
+{
+    if (size == 0 || size > 8)
+        throw std::invalid_argument("LSQ load: size must be 1..8");
+
+    LoadResult res;
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        std::uint8_t byte = 0;
+        bool resolved = false;
+        // Youngest-to-oldest search among older entries.
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+            if (!overlaps(*it, a, 1))
+                continue;
+            if (it->isCform) {
+                // Never forward from CFORM: the load sees zero and is
+                // marked for exception (Section 5.3).
+                byte = 0;
+                res.cformConflict = true;
+            } else {
+                byte = static_cast<std::uint8_t>(
+                    (it->value >> (8 * (a - it->addr))) & 0xff);
+                res.forwarded = true;
+            }
+            resolved = true;
+            break;
+        }
+        if (!resolved)
+            byte = reader(a);
+        res.value |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return res;
+}
+
+bool
+LoadStoreQueue::drainOldest(
+    const std::function<void(Addr, unsigned, std::uint64_t)> &commit_store,
+    const std::function<void(const CformOp &)> &commit_cform)
+{
+    if (entries_.empty())
+        return false;
+    const Entry e = entries_.front();
+    entries_.pop_front();
+    if (e.isCform) {
+        if (commit_cform)
+            commit_cform(e.cform);
+    } else {
+        if (commit_store)
+            commit_store(e.addr, e.size, e.value);
+    }
+    return true;
+}
+
+} // namespace califorms

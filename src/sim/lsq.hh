@@ -1,0 +1,103 @@
+/**
+ * @file lsq.hh
+ * Load/store queue model with the CFORM rules of Section 5.3.
+ *
+ * A CFORM instruction flows through the LSQ like a store, but with one
+ * key difference: it never forwards a value to a younger load. A younger
+ * load whose address overlaps an in-flight CFORM's allow-mask receives
+ * the value zero for the overlapping bytes (tamper resistance against
+ * speculative side channels) and is marked for a Califorms exception at
+ * commit. Younger stores that overlap an in-flight CFORM are marked for
+ * the exception as well.
+ *
+ * This is a functional model: it resolves values exactly (including
+ * partial overlaps, by composing older stores over a memory snapshot)
+ * and reports which ops must fault at commit. The timing core does not
+ * route every access through it; it exists to pin down the architectural
+ * semantics and is exercised heavily by the test suite.
+ */
+
+#ifndef CALIFORMS_SIM_LSQ_HH
+#define CALIFORMS_SIM_LSQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/cform.hh"
+#include "core/line.hh"
+
+namespace califorms
+{
+
+class LoadStoreQueue
+{
+  public:
+    /** Reads one byte from the memory system (the value the load would
+     *  see with no older in-flight stores). */
+    using ByteReader = std::function<std::uint8_t(Addr)>;
+
+    /** Outcome of a load probing the queue. */
+    struct LoadResult
+    {
+        std::uint64_t value = 0;
+        bool forwarded = false;      //!< any byte came from an older store
+        bool cformConflict = false;  //!< marked for Califorms exception
+    };
+
+    /** Outcome of inserting a store. */
+    struct StoreResult
+    {
+        bool cformConflict = false;  //!< marked for Califorms exception
+    };
+
+    explicit LoadStoreQueue(std::size_t capacity = 36)
+        : capacity_(capacity)
+    {}
+
+    /** Insert a store; reports whether it overlaps an older CFORM. */
+    StoreResult pushStore(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Insert a CFORM entry (carries its allow-mask for matching). */
+    void pushCform(const CformOp &op);
+
+    /**
+     * Execute a load against the queue: bytes covered by older regular
+     * stores are forwarded youngest-first; bytes covered by an older
+     * CFORM read zero and set cformConflict; the rest come from
+     * @p reader.
+     */
+    LoadResult load(Addr addr, unsigned size,
+                    const ByteReader &reader) const;
+
+    /** Retire the oldest entry, delivering it to @p commit_store /
+     *  @p commit_cform. Returns false if the queue is empty. */
+    bool drainOldest(
+        const std::function<void(Addr, unsigned, std::uint64_t)>
+            &commit_store,
+        const std::function<void(const CformOp &)> &commit_cform);
+
+    std::size_t size() const { return entries_.size(); }
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        bool isCform = false;
+        Addr addr = 0;         //!< byte address (line address for CFORM)
+        unsigned size = 0;     //!< store size in bytes
+        std::uint64_t value = 0;
+        CformOp cform{};
+    };
+
+    /** True if [addr, addr+size) intersects the bytes @p e may change. */
+    static bool overlaps(const Entry &e, Addr addr, unsigned size);
+
+    std::size_t capacity_;
+    std::deque<Entry> entries_; //!< oldest at front
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_LSQ_HH

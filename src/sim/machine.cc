@@ -1,0 +1,75 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace califorms
+{
+
+Machine::Machine(const MachineParams &params, ExceptionUnit::Policy policy)
+    : params_(params), exceptions_(policy), mem_(params.mem, exceptions_),
+      core_(params.core, params.mem.l1Latency)
+{
+}
+
+std::uint64_t
+Machine::load(Addr addr, unsigned size, bool depends_on_prev)
+{
+    const auto res = mem_.load(addr, size);
+    core_.retireLoad(res.latency, depends_on_prev);
+    return res.value;
+}
+
+void
+Machine::store(Addr addr, unsigned size, std::uint64_t value)
+{
+    const auto res = mem_.store(addr, size, value);
+    core_.retireStore(res.latency);
+}
+
+void
+Machine::cform(const CformOp &op)
+{
+    const auto res = mem_.cform(op);
+    core_.retireCform(res.latency);
+}
+
+Cycles
+Machine::cycles() const
+{
+    const auto floor = static_cast<Cycles>(
+        static_cast<double>(mem_.dramLineTraffic()) *
+        params_.core.dramCyclesPerLine);
+    return std::max(core_.cycles(), floor);
+}
+
+void
+Machine::clearStats()
+{
+    core_.reset();
+    mem_.clearStats();
+}
+
+std::string
+describeParams(const MachineParams &params)
+{
+    std::ostringstream os;
+    os << "Core        x86-64 Westmere-like OoO approximation, width "
+       << params.core.issueWidth << ", MLP " << params.core.mlp << "\n"
+       << "L1 data     " << params.mem.l1Size / 1024 << "KB, "
+       << params.mem.l1Ways << "-way, " << params.mem.l1Latency
+       << "-cycle latency\n"
+       << "L2 cache    " << params.mem.l2Size / 1024 << "KB, "
+       << params.mem.l2Ways << "-way, " << params.mem.l2Latency
+       << "-cycle latency\n"
+       << "L3 cache    " << params.mem.l3Size / (1024 * 1024) << "MB, "
+       << params.mem.l3Ways << "-way, " << params.mem.l3Latency
+       << "-cycle latency\n"
+       << "DRAM        " << params.mem.dramLatency << "-cycle latency\n";
+    if (params.mem.extraL2L3Latency)
+        os << "Extra L2/L3 latency: +" << params.mem.extraL2L3Latency
+           << " cycle(s)\n";
+    return os.str();
+}
+
+} // namespace califorms

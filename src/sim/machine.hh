@@ -1,0 +1,86 @@
+/**
+ * @file machine.hh
+ * The simulated machine façade: timing core + Califorms memory hierarchy
+ * + privileged exception unit. Workload kernels, the allocator, the
+ * examples, and the benchmark harnesses all talk to this class.
+ */
+
+#ifndef CALIFORMS_SIM_MACHINE_HH
+#define CALIFORMS_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cform.hh"
+#include "os/exception_unit.hh"
+#include "sim/core_model.hh"
+#include "sim/memsys.hh"
+#include "sim/params.hh"
+
+namespace califorms
+{
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineParams &params = MachineParams{},
+                     ExceptionUnit::Policy policy =
+                         ExceptionUnit::Policy::Record);
+
+    // Timed execution interface -------------------------------------
+    /** Load @p size bytes; returns the value (blacklisted bytes read 0).
+     *  @p depends_on_prev marks pointer-chase loads. */
+    std::uint64_t load(Addr addr, unsigned size,
+                       bool depends_on_prev = false);
+
+    /** Store the low @p size bytes of @p value. */
+    void store(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Execute a CFORM instruction. */
+    void cform(const CformOp &op);
+
+    /** Account @p ops of pure compute work. */
+    void compute(std::uint32_t ops) { core_.retireCompute(ops); }
+
+    // Functional interface (no timing, no checks) --------------------
+    std::uint8_t peekByte(Addr addr) const { return mem_.peekByte(addr); }
+    void pokeByte(Addr addr, std::uint8_t v) { mem_.pokeByte(addr, v); }
+    std::vector<std::uint8_t>
+    peekBytes(Addr addr, std::size_t n) const
+    {
+        return mem_.peekBytes(addr, n);
+    }
+    SecurityMask securityMask(Addr addr) const
+    {
+        return mem_.securityMask(addr);
+    }
+
+    // Introspection ---------------------------------------------------
+    /**
+     * Total machine time: the OoO core's critical path, bounded below
+     * by the DRAM bandwidth roofline (lines moved x cycles per line).
+     * Streaming workloads whose latency the window hides completely are
+     * still limited by how fast lines cross the memory bus.
+     */
+    Cycles cycles() const;
+    std::uint64_t instructions() const { return core_.instructions(); }
+    MemSysStats memStats() const { return mem_.stats(); }
+
+    ExceptionUnit &exceptions() { return exceptions_; }
+    const ExceptionUnit &exceptions() const { return exceptions_; }
+    MemorySystem &memorySystem() { return mem_; }
+    const MachineParams &params() const { return params_; }
+
+    /** Reset cycle and statistics counters (state is preserved). */
+    void clearStats();
+
+  private:
+    MachineParams params_;
+    ExceptionUnit exceptions_;
+    MemorySystem mem_;
+    CoreModel core_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_MACHINE_HH

@@ -1,0 +1,37 @@
+#include "sim/main_memory.hh"
+
+#include <stdexcept>
+
+namespace califorms
+{
+
+SentinelLine
+MainMemory::readLine(Addr line_addr) const
+{
+    if (lineOffset(line_addr) != 0)
+        throw std::invalid_argument("MainMemory: unaligned line read");
+    ++reads_;
+    auto it = lines_.find(line_addr);
+    return it != lines_.end() ? it->second : SentinelLine{};
+}
+
+void
+MainMemory::writeLine(Addr line_addr, const SentinelLine &line)
+{
+    if (lineOffset(line_addr) != 0)
+        throw std::invalid_argument("MainMemory: unaligned line write");
+    ++writes_;
+    lines_[line_addr] = line;
+}
+
+std::size_t
+MainMemory::califormedLines() const
+{
+    std::size_t n = 0;
+    for (const auto &[addr, line] : lines_)
+        if (line.califormed)
+            ++n;
+    return n;
+}
+
+} // namespace califorms

@@ -1,0 +1,47 @@
+/**
+ * @file main_memory.hh
+ * Sparse DRAM model. Lines are stored in the sentinel (califormed)
+ * format; the one metadata bit per line models the spare ECC bit the
+ * paper repurposes (Section 3), so data never grows and the DIMM
+ * interface is unchanged. Untouched lines read as zero.
+ */
+
+#ifndef CALIFORMS_SIM_MAIN_MEMORY_HH
+#define CALIFORMS_SIM_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/line.hh"
+#include "os/swap.hh"
+
+namespace califorms
+{
+
+class MainMemory : public LineStore
+{
+  public:
+    /** Read the line at @p line_addr (zero/clean if never written). */
+    SentinelLine readLine(Addr line_addr) const override;
+
+    /** Write a full line including its ECC califormed bit. */
+    void writeLine(Addr line_addr, const SentinelLine &line) override;
+
+    /** Number of lines currently backed (for memory footprint stats). */
+    std::size_t backedLines() const { return lines_.size(); }
+
+    /** Number of backed lines whose califormed (ECC) bit is set. */
+    std::size_t califormedLines() const;
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+
+  private:
+    std::unordered_map<Addr, SentinelLine> lines_;
+    mutable std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_MAIN_MEMORY_HH

@@ -1,0 +1,474 @@
+#include "sim/memsys.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/l1_variants.hh"
+#include "core/sentinel.hh"
+
+namespace califorms
+{
+
+MemorySystem::MemorySystem(const MemSysParams &params,
+                           ExceptionUnit &exceptions)
+    : params_(params), exceptions_(exceptions),
+      l1_(params.l1Size, params.l1Ways),
+      l2_(params.l2Size, params.l2Ways),
+      l3_(params.l3Size, params.l3Ways)
+{
+}
+
+Cycles
+MemorySystem::l2HitLatency() const
+{
+    return params_.l1Latency + params_.l2Latency +
+           params_.extraL2L3Latency;
+}
+
+SentinelLine
+MemorySystem::fetchBelowL1(Addr line_addr, Cycles &latency)
+{
+    latency += params_.l2Latency + params_.extraL2L3Latency;
+    if (SentinelLine *l2 = l2_.access(line_addr, false))
+        return *l2;
+
+    latency += params_.l3Latency + params_.extraL2L3Latency;
+    SentinelLine line;
+    if (SentinelLine *l3 = l3_.access(line_addr, false)) {
+        line = *l3;
+    } else {
+        latency += params_.dramLatency;
+        ++stats_.dramAccesses;
+        line = memory_.readLine(line_addr);
+        // Fill L3 then L2 on the way up (mostly-inclusive hierarchy).
+        auto ev3 = l3_.insert(line_addr, line, false);
+        if (ev3.valid)
+            writeBackL3(ev3.lineAddr, ev3.line, ev3.dirty);
+    }
+    auto ev2 = l2_.insert(line_addr, line, false);
+    if (ev2.valid)
+        writeBackL2(ev2.lineAddr, ev2.line, ev2.dirty);
+    return line;
+}
+
+BitVectorLine &
+MemorySystem::refillL1(Addr line_addr, Cycles &latency)
+{
+    const SentinelLine below = fetchBelowL1(line_addr, latency);
+    if (below.califormed)
+        ++stats_.fills;
+    BitVectorLine line = fillLine(below);
+
+    // Appendix A variants store the L1 line in a denser format; route
+    // the fill through the corresponding codec (a functional identity,
+    // exercising the encode/decode path under real traffic).
+    switch (params_.l1Format) {
+      case L1Format::BitVector8B:
+        break;
+      case L1Format::Cal4B:
+        line = decodeCal4B(encodeCal4B(line));
+        break;
+      case L1Format::Cal1B:
+        line = decodeCal1B(encodeCal1B(line));
+        break;
+    }
+
+    auto ev = l1_.insert(line_addr, std::move(line), false);
+    if (ev.valid)
+        writeBackL1(ev.lineAddr, ev.line, ev.dirty);
+
+    // Simplified hardware streamer: on a demand miss, pull the next
+    // line into the L2 as well. Latency is hidden and demand hit/miss
+    // statistics are untouched; DRAM bandwidth is still paid.
+    if (params_.nextLinePrefetch) {
+        const Addr next = line_addr + lineBytes;
+        if (!l1_.peek(next) && !l2_.peek(next)) {
+            SentinelLine pf;
+            if (SentinelLine *l3 = l3_.peek(next)) {
+                pf = *l3;
+            } else {
+                ++stats_.dramAccesses;
+                pf = memory_.readLine(next);
+                auto ev3 = l3_.insert(next, pf, false);
+                if (ev3.valid)
+                    writeBackL3(ev3.lineAddr, ev3.line, ev3.dirty);
+            }
+            auto ev2 = l2_.insert(next, pf, false);
+            if (ev2.valid)
+                writeBackL2(ev2.lineAddr, ev2.line, ev2.dirty);
+        }
+    }
+
+    BitVectorLine *resident = l1_.peek(line_addr);
+    assert(resident && "line must be resident after refill");
+    return *resident;
+}
+
+void
+MemorySystem::writeBackL1(Addr line_addr, const BitVectorLine &line,
+                          bool dirty)
+{
+    // A clean L1 line matches what L2/L3/DRAM already hold; dropping it
+    // is safe and models a silent eviction.
+    if (!dirty)
+        return;
+    if (line.califormed())
+        ++stats_.spills;
+    auto ev = l2_.insert(line_addr, spillLine(line), true);
+    if (ev.valid)
+        writeBackL2(ev.lineAddr, ev.line, ev.dirty);
+}
+
+void
+MemorySystem::writeBackL2(Addr line_addr, const SentinelLine &line,
+                          bool dirty)
+{
+    if (!dirty)
+        return;
+    auto ev = l3_.insert(line_addr, line, true);
+    if (ev.valid)
+        writeBackL3(ev.lineAddr, ev.line, ev.dirty);
+}
+
+void
+MemorySystem::writeBackL3(Addr line_addr, const SentinelLine &line,
+                          bool dirty)
+{
+    if (!dirty)
+        return;
+    ++stats_.dramAccesses;
+    memory_.writeLine(line_addr, line);
+}
+
+MemorySystem::AccessResult
+MemorySystem::accessSegment(Addr addr, unsigned size, bool is_store,
+                            std::uint64_t value)
+{
+    assert(size >= 1 && size <= 8);
+    const Addr la = lineBase(addr);
+    const unsigned off = lineOffset(addr);
+    assert(off + size <= lineBytes && "segment must not cross lines");
+
+    AccessResult res;
+    res.latency =
+        params_.l1Latency + l1FormatExtraLatency(params_.l1Format);
+
+    BitVectorLine *line = l1_.access(la, false);
+    if (!line)
+        line = &refillL1(la, res.latency);
+
+    const std::uint64_t range = bitRange(off, size);
+    const std::uint64_t overlap = line->mask & range;
+    if (overlap != 0) {
+        // Precise exception: report the first security byte touched.
+        ++stats_.securityFaults;
+        res.faulted = true;
+        CaliformsException e;
+        e.faultAddr = la + findFirstOne(overlap);
+        e.kind = is_store ? AccessKind::Store : AccessKind::Load;
+        e.reason = is_store ? FaultReason::StoreSecurityByte
+                            : FaultReason::LoadSecurityByte;
+        const bool delivered = exceptions_.raise(e);
+        if (is_store && delivered) {
+            // The store never becomes non-speculative; it does not
+            // commit (Section 5.1).
+            return res;
+        }
+    }
+
+    if (is_store) {
+        // Whitelisted (or fault-free) store: write the data bytes. The
+        // blacklist metadata is never modified by ordinary stores.
+        for (unsigned i = 0; i < size; ++i)
+            line->data[off + i] = static_cast<std::uint8_t>(
+                (value >> (8 * i)) & 0xff);
+        l1_.markDirty(la);
+    } else {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<std::uint64_t>(line->data[off + i])
+                 << (8 * i);
+        // Security bytes are canonically zero, so the pre-determined
+        // zero value of Section 5.1 falls out of the data itself.
+        res.value = v;
+    }
+    return res;
+}
+
+MemorySystem::AccessResult
+MemorySystem::load(Addr addr, unsigned size)
+{
+    if (size == 0 || size > 8)
+        throw std::invalid_argument("load: size must be 1..8");
+    const unsigned off = lineOffset(addr);
+    if (off + size <= lineBytes)
+        return accessSegment(addr, size, false, 0);
+
+    // Line-crossing access: split, combine values, sum latencies.
+    const unsigned first = lineBytes - off;
+    AccessResult a = accessSegment(addr, first, false, 0);
+    AccessResult b = accessSegment(addr + first, size - first, false, 0);
+    AccessResult res;
+    res.latency = a.latency + b.latency;
+    res.faulted = a.faulted || b.faulted;
+    res.value = a.value | (b.value << (8 * first));
+    return res;
+}
+
+MemorySystem::AccessResult
+MemorySystem::store(Addr addr, unsigned size, std::uint64_t value)
+{
+    if (size == 0 || size > 8)
+        throw std::invalid_argument("store: size must be 1..8");
+    const unsigned off = lineOffset(addr);
+    if (off + size <= lineBytes)
+        return accessSegment(addr, size, true, value);
+
+    const unsigned first = lineBytes - off;
+    AccessResult a = accessSegment(addr, first, true, value);
+    AccessResult b = accessSegment(addr + first, size - first, true,
+                                   value >> (8 * first));
+    AccessResult res;
+    res.latency = a.latency + b.latency;
+    res.faulted = a.faulted || b.faulted;
+    return res;
+}
+
+MemorySystem::WideAccessResult
+MemorySystem::wideLoad(Addr addr, unsigned size, SimdPolicy policy)
+{
+    if (size != 16 && size != 32 && size != 64)
+        throw std::invalid_argument("wideLoad: size must be 16/32/64");
+    if (addr % size != 0)
+        throw std::invalid_argument("wideLoad: unaligned vector access");
+
+    const Addr la = lineBase(addr);
+    const unsigned off = lineOffset(addr);
+
+    WideAccessResult res;
+    res.latency = params_.l1Latency;
+
+    BitVectorLine *line = l1_.access(la, false);
+    if (!line)
+        line = &refillL1(la, res.latency);
+
+    const std::uint64_t range = bitRange(off, size);
+    const std::uint64_t overlap = line->mask & range;
+
+    switch (policy) {
+      case SimdPolicy::PreciseGather:
+        // One gather element per 8B lane; each lane checks precisely.
+        // Model the micro-op expansion as one extra cycle per lane.
+        res.latency += size / 8;
+        if (overlap) {
+            ++stats_.securityFaults;
+            res.faulted = true;
+            CaliformsException e;
+            e.faultAddr = la + findFirstOne(overlap);
+            e.kind = AccessKind::Load;
+            e.reason = FaultReason::LoadSecurityByte;
+            exceptions_.raise(e);
+        }
+        break;
+
+      case SimdPolicy::LineException:
+        if (overlap) {
+            ++stats_.securityFaults;
+            res.faulted = true;
+            CaliformsException e;
+            e.faultAddr = la + findFirstOne(overlap);
+            e.kind = AccessKind::Load;
+            e.reason = FaultReason::LoadSecurityByte;
+            exceptions_.raise(e);
+        }
+        break;
+
+      case SimdPolicy::PropagateMask:
+        // No exception here: the poison bits travel with the register
+        // (one bit per byte) and trap at first use.
+        res.registerMask = overlap >> off;
+        break;
+    }
+    return res;
+}
+
+MemorySystem::AccessResult
+MemorySystem::cform(const CformOp &op)
+{
+    if (lineOffset(op.lineAddr) != 0)
+        throw std::invalid_argument("cform: unaligned line address");
+    ++stats_.cformOps;
+
+    AccessResult res;
+    res.latency = params_.l1Latency;
+
+    if (op.nonTemporal) {
+        // Non-temporal variant: update the line beneath the L1 without
+        // polluting the L1 (footnote 3 of Section 6.1). If the line is
+        // in the L1 it is updated in place instead.
+        if (BitVectorLine *line = l1_.access(op.lineAddr, false)) {
+            if (auto fault = checkCform(*line, op)) {
+                ++stats_.securityFaults;
+                res.faulted = true;
+                exceptions_.raise(*fault);
+                return res;
+            }
+            applyCform(*line, op);
+            l1_.markDirty(op.lineAddr);
+            return res;
+        }
+        SentinelLine below = fetchBelowL1(op.lineAddr, res.latency);
+        BitVectorLine decoded = fillLine(below);
+        if (auto fault = checkCform(decoded, op)) {
+            ++stats_.securityFaults;
+            res.faulted = true;
+            exceptions_.raise(*fault);
+            return res;
+        }
+        applyCform(decoded, op);
+        if (decoded.califormed())
+            ++stats_.spills;
+        auto ev = l2_.insert(op.lineAddr, spillLine(decoded), true);
+        if (ev.valid)
+            writeBackL2(ev.lineAddr, ev.line, ev.dirty);
+        return res;
+    }
+
+    // Regular CFORM: store-like with write-allocate (Section 4.1).
+    BitVectorLine *line = l1_.access(op.lineAddr, false);
+    if (!line)
+        line = &refillL1(op.lineAddr, res.latency);
+
+    if (auto fault = checkCform(*line, op)) {
+        ++stats_.securityFaults;
+        res.faulted = true;
+        exceptions_.raise(*fault);
+        return res;
+    }
+    applyCform(*line, op);
+    l1_.markDirty(op.lineAddr);
+    return res;
+}
+
+BitVectorLine
+MemorySystem::functionalRead(Addr line_addr) const
+{
+    if (const BitVectorLine *l1 = l1_.peek(line_addr))
+        return *l1;
+    if (const SentinelLine *l2 = l2_.peek(line_addr))
+        return fillLine(*l2);
+    if (const SentinelLine *l3 = l3_.peek(line_addr))
+        return fillLine(*l3);
+    // Bypass the read counter? Keep it: functional reads are rare and
+    // the counter tracks DRAM device traffic; use a direct read here.
+    return fillLine(memory_.readLine(line_addr));
+}
+
+void
+MemorySystem::functionalWrite(Addr line_addr, const BitVectorLine &line)
+{
+    if (BitVectorLine *l1 = l1_.peek(line_addr)) {
+        *l1 = line;
+        l1_.markDirty(line_addr);
+        return;
+    }
+    const SentinelLine encoded = spillLine(line);
+    if (SentinelLine *l2 = l2_.peek(line_addr)) {
+        *l2 = encoded;
+        l2_.markDirty(line_addr);
+        return;
+    }
+    if (SentinelLine *l3 = l3_.peek(line_addr)) {
+        *l3 = encoded;
+        l3_.markDirty(line_addr);
+        return;
+    }
+    memory_.writeLine(line_addr, encoded);
+}
+
+std::uint8_t
+MemorySystem::peekByte(Addr addr) const
+{
+    return functionalRead(lineBase(addr)).data[lineOffset(addr)];
+}
+
+void
+MemorySystem::pokeByte(Addr addr, std::uint8_t value)
+{
+    const Addr la = lineBase(addr);
+    BitVectorLine line = functionalRead(la);
+    line.data[lineOffset(addr)] = value;
+    functionalWrite(la, line);
+}
+
+std::vector<std::uint8_t>
+MemorySystem::peekBytes(Addr addr, std::size_t n) const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(peekByte(addr + i));
+    return out;
+}
+
+void
+MemorySystem::pokeBytes(Addr addr, const std::uint8_t *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pokeByte(addr + i, data[i]);
+}
+
+SecurityMask
+MemorySystem::securityMask(Addr addr) const
+{
+    return functionalRead(lineBase(addr)).mask;
+}
+
+void
+MemorySystem::flushAll()
+{
+    l1_.forEachLine([this](Addr la, BitVectorLine &line, bool dirty) {
+        if (!dirty)
+            return;
+        if (line.califormed())
+            ++stats_.spills;
+        auto ev = l2_.insert(la, spillLine(line), true);
+        if (ev.valid)
+            writeBackL2(ev.lineAddr, ev.line, ev.dirty);
+    });
+    l1_.reset();
+    l2_.forEachLine([this](Addr la, SentinelLine &line, bool dirty) {
+        if (!dirty)
+            return;
+        auto ev = l3_.insert(la, line, true);
+        if (ev.valid)
+            writeBackL3(ev.lineAddr, ev.line, ev.dirty);
+    });
+    l2_.reset();
+    l3_.forEachLine([this](Addr la, SentinelLine &line, bool dirty) {
+        if (dirty)
+            memory_.writeLine(la, line);
+    });
+    l3_.reset();
+}
+
+MemSysStats
+MemorySystem::stats() const
+{
+    MemSysStats out = stats_;
+    out.l1 = l1_.stats();
+    out.l2 = l2_.stats();
+    out.l3 = l3_.stats();
+    return out;
+}
+
+void
+MemorySystem::clearStats()
+{
+    stats_ = MemSysStats{};
+    l1_.clearStats();
+    l2_.clearStats();
+    l3_.clearStats();
+}
+
+} // namespace califorms

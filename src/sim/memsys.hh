@@ -1,0 +1,177 @@
+/**
+ * @file memsys.hh
+ * The three level cache hierarchy with Califorms support (Sections 3, 5).
+ *
+ * Layout of metadata through the hierarchy (Figure 1):
+ *   L1D      — califorms-bitvector: natural data + 64-bit mask per line.
+ *   L2, L3   — califorms-sentinel: encoded payload + 1 bit per line.
+ *   DRAM     — sentinel payload, metadata bit in spare ECC (MainMemory).
+ *
+ * Conversions run at the L1/L2 boundary: fills decode sentinel lines
+ * into the bit vector format (Algorithm 2), spills re-encode on eviction
+ * (Algorithm 1). Lines without security bytes stay in the natural format
+ * everywhere.
+ *
+ * Every load/store checks the accessed byte range against the L1 mask.
+ * Touching a security byte raises the privileged Califorms exception
+ * through the ExceptionUnit; loads return zero for blacklisted bytes
+ * (anti speculation side channel, Section 7.2) and faulting stores do
+ * not commit. While whitelisted (exception mask raised), accesses
+ * proceed: loads still see zeros, stores write data bytes but leave the
+ * blacklist metadata untouched — memcpy of a struct copies its payload
+ * while the security byte pattern of the destination survives.
+ */
+
+#ifndef CALIFORMS_SIM_MEMSYS_HH
+#define CALIFORMS_SIM_MEMSYS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cform.hh"
+#include "core/line.hh"
+#include "os/exception_unit.hh"
+#include "sim/cache_array.hh"
+#include "sim/main_memory.hh"
+#include "sim/params.hh"
+
+namespace califorms
+{
+
+/** Aggregate statistics for the hierarchy. */
+struct MemSysStats
+{
+    CacheStats l1;
+    CacheStats l2;
+    CacheStats l3;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t spills = 0;          //!< califormed L1 evictions encoded
+    std::uint64_t fills = 0;           //!< califormed L1 fills decoded
+    std::uint64_t cformOps = 0;
+    std::uint64_t securityFaults = 0;  //!< raised (delivered or suppressed)
+};
+
+class MemorySystem
+{
+  public:
+    /** Result of one timed access. */
+    struct AccessResult
+    {
+        Cycles latency = 0;  //!< load-to-use / store-commit latency
+        bool faulted = false; //!< touched a security byte
+        std::uint64_t value = 0; //!< loaded value (low @c size bytes)
+    };
+
+    MemorySystem(const MemSysParams &params, ExceptionUnit &exceptions);
+
+    /** Timed load of @p size (1..8) bytes. May cross a line boundary. */
+    AccessResult load(Addr addr, unsigned size);
+
+    /**
+     * Appendix B: how SIMD/vector loads interact with security bytes.
+     */
+    enum class SimdPolicy
+    {
+        /** (1) Issue precise per-element gathers: byte-exact checks,
+         *  at extra latency per element. */
+        PreciseGather,
+        /** (2) Issue the wide load as-is and fault if *any* byte of the
+         *  accessed range is a security byte — may false-positive on
+         *  vectors that legitimately span padding. */
+        LineException,
+        /** (3) Propagate a per-byte poison mask into the register and
+         *  fault only when a poisoned byte is consumed. */
+        PropagateMask,
+    };
+
+    /** Result of a wide (16/32/64B) vector load. */
+    struct WideAccessResult
+    {
+        Cycles latency = 0;
+        bool faulted = false;          //!< exception raised at the load
+        SecurityMask registerMask = 0; //!< PropagateMask poison bits
+    };
+
+    /**
+     * Timed vector load of @p size bytes (16, 32 or 64; line aligned to
+     * its own width) under the chosen Appendix B policy. Blacklisted
+     * bytes always read zero.
+     */
+    WideAccessResult wideLoad(Addr addr, unsigned size,
+                              SimdPolicy policy);
+
+    /** Timed store of the low @p size bytes of @p value. */
+    AccessResult store(Addr addr, unsigned size, std::uint64_t value);
+
+    /**
+     * Execute a CFORM instruction (Section 4.1). Store-like: allocates
+     * the line at L1 on a miss unless op.nonTemporal is set, in which
+     * case the line is updated in place below the L1 (footnote 3).
+     */
+    AccessResult cform(const CformOp &op);
+
+    // Functional (untimed, unchecked) access for allocator bookkeeping,
+    // test oracles and examples. Never raises exceptions and never
+    // perturbs cache state or statistics.
+    std::uint8_t peekByte(Addr addr) const;
+    void pokeByte(Addr addr, std::uint8_t value);
+    std::vector<std::uint8_t> peekBytes(Addr addr, std::size_t n) const;
+    void pokeBytes(Addr addr, const std::uint8_t *data, std::size_t n);
+
+    /** Security mask of the line containing @p addr, wherever it lives. */
+    SecurityMask securityMask(Addr addr) const;
+
+    /** Write every dirty line back to DRAM and drop all cache contents. */
+    void flushAll();
+
+    /** Counters with the per-level cache stats filled in. */
+    MemSysStats stats() const;
+    void clearStats();
+
+    /** Lines moved to or from DRAM (reads + write-backs): the quantity
+     *  the bandwidth roofline in Machine::cycles() prices. */
+    std::uint64_t dramLineTraffic() const { return stats_.dramAccesses; }
+
+    MainMemory &memory() { return memory_; }
+    const MemSysParams &params() const { return params_; }
+
+    /** Total latency of an L1 miss that hits in L2 (for reporting). */
+    Cycles l2HitLatency() const;
+
+  private:
+    /** Fetch a line into L1 (miss path); returns latency spent below L1
+     *  and a reference to the resident line. */
+    BitVectorLine &refillL1(Addr line_addr, Cycles &latency);
+
+    /** Look the line up in L2/L3/DRAM, filling caches along the way. */
+    SentinelLine fetchBelowL1(Addr line_addr, Cycles &latency);
+
+    /** Evict one L1 line into L2 (spill conversion). */
+    void writeBackL1(Addr line_addr, const BitVectorLine &line,
+                     bool dirty);
+    /** Evict one L2 line into L3. */
+    void writeBackL2(Addr line_addr, const SentinelLine &line, bool dirty);
+    /** Evict one L3 line into DRAM. */
+    void writeBackL3(Addr line_addr, const SentinelLine &line, bool dirty);
+
+    /** Common load/store path for one line-contained segment. */
+    AccessResult accessSegment(Addr addr, unsigned size, bool is_store,
+                               std::uint64_t value);
+
+    /** Functional lookup of a line's current content (no state change). */
+    BitVectorLine functionalRead(Addr line_addr) const;
+    /** Functional write-through of a full line to wherever it lives. */
+    void functionalWrite(Addr line_addr, const BitVectorLine &line);
+
+    MemSysParams params_;
+    ExceptionUnit &exceptions_;
+    CacheArray<BitVectorLine> l1_;
+    CacheArray<SentinelLine> l2_;
+    CacheArray<SentinelLine> l3_;
+    MainMemory memory_;
+    MemSysStats stats_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_MEMSYS_HH

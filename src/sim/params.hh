@@ -1,0 +1,115 @@
+/**
+ * @file params.hh
+ * Simulated machine configuration, defaulted to Table 3: an Intel
+ * Westmere-like out-of-order core at 2.27GHz with a three level cache
+ * hierarchy and DDR3-1333 DRAM.
+ */
+
+#ifndef CALIFORMS_SIM_PARAMS_HH
+#define CALIFORMS_SIM_PARAMS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hh"
+
+namespace califorms
+{
+
+/**
+ * Which L1 metadata organization the data cache uses (Section 5.1 and
+ * Appendix A). The format changes the L1 hit latency per Table 7 and
+ * routes resident lines through the corresponding codec.
+ */
+enum class L1Format
+{
+    BitVector8B, //!< dedicated bit vector array (default, fastest hit)
+    Cal4B,       //!< bit vector inside a security byte (Figure 14)
+    Cal1B,       //!< bit vector in the chunk header byte (Figure 15)
+};
+
+/** Extra L1 hit cycles for a format, from the Table 7 delay overheads
+ *  (+1.85%, +49.4%, +22.2% of the ~1.6ns access) on a 4-cycle L1. */
+constexpr Cycles
+l1FormatExtraLatency(L1Format format)
+{
+    switch (format) {
+      case L1Format::BitVector8B:
+        return 0;
+      case L1Format::Cal4B:
+        return 2;
+      case L1Format::Cal1B:
+        return 1;
+    }
+    return 0;
+}
+
+/** Cache hierarchy and DRAM parameters (Table 3). */
+struct MemSysParams
+{
+    std::size_t l1Size = 32 * 1024;       //!< 32KB
+    unsigned l1Ways = 8;                  //!< 8-way
+    Cycles l1Latency = 4;                 //!< 4-cycle load-to-use
+
+    std::size_t l2Size = 256 * 1024;      //!< 256KB
+    unsigned l2Ways = 8;
+    Cycles l2Latency = 7;
+
+    std::size_t l3Size = 2 * 1024 * 1024; //!< 2MB
+    unsigned l3Ways = 16;
+    Cycles l3Latency = 27;
+
+    Cycles dramLatency = 120;             //!< DDR3-1333 average load
+
+    /**
+     * Extra L2 and L3 access latency in cycles. Figure 10 evaluates the
+     * pessimistic assumption that Califorms adds one cycle to both.
+     */
+    Cycles extraL2L3Latency = 0;
+
+    /** L1 metadata organization (Appendix A variants). */
+    L1Format l1Format = L1Format::BitVector8B;
+
+    /**
+     * Next-line prefetch into the L2 on L1 misses (a simplified model
+     * of the hardware streamers real Westmere/Skylake parts have).
+     * Prefetches consume DRAM bandwidth but hide their latency.
+     */
+    bool nextLinePrefetch = false;
+};
+
+/** Out-of-order core approximation parameters. */
+struct CoreParams
+{
+    unsigned issueWidth = 4;      //!< max ops retired per cycle
+    unsigned mlp = 12;            //!< overlap factor for independent misses
+    double storeMissWeight = 0.2; //!< store misses are mostly buffered
+    /**
+     * CFORM instructions expose more of their miss latency than plain
+     * stores: they must not forward to younger loads and, without LSQ
+     * support, are bracketed by memory serializing instructions
+     * (Section 5.3), so the window overlaps them poorly.
+     */
+    double cformMissWeight = 0.3;
+    /**
+     * DRAM bandwidth roofline: each line moved to or from DRAM costs at
+     * least this many core cycles of machine time, no matter how well
+     * the OoO window hides latency. 64B at DDR3-1333 dual channel
+     * (~21GB/s) on a 2.27GHz core is about 7 cycles per line.
+     */
+    double dramCyclesPerLine = 7.0;
+};
+
+/** Full machine configuration. */
+struct MachineParams
+{
+    MemSysParams mem;
+    CoreParams core;
+};
+
+/** Render the configuration as a Table 3 style listing. */
+std::string describeParams(const MachineParams &params);
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_PARAMS_HH

@@ -1,0 +1,77 @@
+#include "sim/stats_dump.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace califorms
+{
+
+namespace
+{
+
+void
+line(std::ostringstream &os, const std::string &name, double value,
+     const char *desc)
+{
+    os << std::left << std::setw(34) << name << std::setw(16) << value
+       << "# " << desc << "\n";
+}
+
+void
+cacheLines(std::ostringstream &os, const std::string &prefix,
+           const CacheStats &s)
+{
+    line(os, prefix + ".hits", static_cast<double>(s.hits), "hits");
+    line(os, prefix + ".misses", static_cast<double>(s.misses),
+         "misses");
+    line(os, prefix + ".missRate", s.missRate(), "miss rate");
+    line(os, prefix + ".evictions", static_cast<double>(s.evictions),
+         "evictions");
+    line(os, prefix + ".dirtyEvictions",
+         static_cast<double>(s.dirtyEvictions), "dirty evictions");
+}
+
+} // namespace
+
+std::string
+dumpStats(const Machine &machine)
+{
+    std::ostringstream os;
+    os << "---------- califorms stats ----------\n";
+    const auto mem = machine.memStats();
+    line(os, "core.cycles", static_cast<double>(machine.cycles()),
+         "simulated cycles (incl. bandwidth roofline)");
+    line(os, "core.instructions",
+         static_cast<double>(machine.instructions()),
+         "retired micro-ops");
+    const double ipc =
+        machine.cycles()
+            ? static_cast<double>(machine.instructions()) /
+                  static_cast<double>(machine.cycles())
+            : 0.0;
+    line(os, "core.ipc", ipc, "instructions per cycle");
+    cacheLines(os, "l1d", mem.l1);
+    cacheLines(os, "l2", mem.l2);
+    cacheLines(os, "l3", mem.l3);
+    line(os, "dram.accesses", static_cast<double>(mem.dramAccesses),
+         "lines moved to/from DRAM");
+    line(os, "califorms.spills", static_cast<double>(mem.spills),
+         "bitvector->sentinel conversions");
+    line(os, "califorms.fills", static_cast<double>(mem.fills),
+         "sentinel->bitvector conversions");
+    line(os, "califorms.cformOps", static_cast<double>(mem.cformOps),
+         "CFORM instructions executed");
+    line(os, "califorms.securityFaults",
+         static_cast<double>(mem.securityFaults),
+         "accesses that touched security bytes");
+    line(os, "exceptions.delivered",
+         static_cast<double>(machine.exceptions().deliveredCount()),
+         "privileged exceptions delivered");
+    line(os, "exceptions.suppressed",
+         static_cast<double>(machine.exceptions().suppressedCount()),
+         "exceptions suppressed by whitelist windows");
+    os << "-------------------------------------\n";
+    return os.str();
+}
+
+} // namespace califorms

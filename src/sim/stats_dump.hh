@@ -1,0 +1,23 @@
+/**
+ * @file stats_dump.hh
+ * gem5-style flat statistics dump for a Machine: every counter on one
+ * "name value # description" line, suitable for diffing across runs
+ * and for downstream scripting.
+ */
+
+#ifndef CALIFORMS_SIM_STATS_DUMP_HH
+#define CALIFORMS_SIM_STATS_DUMP_HH
+
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace califorms
+{
+
+/** Render all machine statistics in a flat, diffable format. */
+std::string dumpStats(const Machine &machine);
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_STATS_DUMP_HH

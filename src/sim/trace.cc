@@ -1,0 +1,158 @@
+#include "sim/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace califorms
+{
+
+TraceOp
+TraceOp::load(Addr addr, unsigned size, bool dep)
+{
+    TraceOp op;
+    op.kind = Kind::Load;
+    op.addr = addr;
+    op.size = static_cast<std::uint8_t>(size);
+    op.dependsOnPrev = dep;
+    return op;
+}
+
+TraceOp
+TraceOp::store(Addr addr, unsigned size, std::uint64_t value)
+{
+    TraceOp op;
+    op.kind = Kind::Store;
+    op.addr = addr;
+    op.size = static_cast<std::uint8_t>(size);
+    op.value = value;
+    return op;
+}
+
+TraceOp
+TraceOp::cformOp(const CformOp &cform)
+{
+    TraceOp op;
+    op.kind = Kind::Cform;
+    op.cform = cform;
+    return op;
+}
+
+TraceOp
+TraceOp::compute(std::uint32_t ops)
+{
+    TraceOp op;
+    op.kind = Kind::Compute;
+    op.computeOps = ops;
+    return op;
+}
+
+std::uint64_t
+runTrace(Machine &machine, const Trace &trace)
+{
+    std::uint64_t checksum = 0;
+    for (const TraceOp &op : trace) {
+        switch (op.kind) {
+          case TraceOp::Kind::Load:
+            checksum ^= machine.load(op.addr, op.size, op.dependsOnPrev);
+            break;
+          case TraceOp::Kind::Store:
+            machine.store(op.addr, op.size, op.value);
+            break;
+          case TraceOp::Kind::Cform:
+            machine.cform(op.cform);
+            break;
+          case TraceOp::Kind::Compute:
+            machine.compute(op.computeOps);
+            break;
+        }
+    }
+    return checksum;
+}
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << std::hex;
+    for (const TraceOp &op : trace) {
+        switch (op.kind) {
+          case TraceOp::Kind::Load:
+            os << "L " << op.addr << " " << std::dec
+               << unsigned(op.size) << std::hex;
+            if (op.dependsOnPrev)
+                os << " dep";
+            os << "\n";
+            break;
+          case TraceOp::Kind::Store:
+            os << "S " << op.addr << " " << std::dec
+               << unsigned(op.size) << std::hex << " " << op.value
+               << "\n";
+            break;
+          case TraceOp::Kind::Cform:
+            os << "C " << op.cform.lineAddr << " " << op.cform.setBits
+               << " " << op.cform.mask;
+            if (op.cform.nonTemporal)
+                os << " nt";
+            os << "\n";
+            break;
+          case TraceOp::Kind::Compute:
+            os << "X " << std::dec << op.computeOps << std::hex << "\n";
+            break;
+        }
+    }
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    Trace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    auto fail = [&](const std::string &why) {
+        throw std::runtime_error("trace line " + std::to_string(lineno) +
+                                 ": " + why);
+    };
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::istringstream ss(line);
+        std::string tag;
+        if (!(ss >> tag) || tag[0] == '#')
+            continue;
+        if (tag == "L") {
+            Addr addr;
+            unsigned size;
+            std::string dep;
+            if (!(ss >> std::hex >> addr >> std::dec >> size))
+                fail("malformed load");
+            bool is_dep = static_cast<bool>(ss >> dep) && dep == "dep";
+            trace.push_back(TraceOp::load(addr, size, is_dep));
+        } else if (tag == "S") {
+            Addr addr;
+            unsigned size;
+            std::uint64_t value;
+            if (!(ss >> std::hex >> addr >> std::dec >> size >>
+                  std::hex >> value))
+                fail("malformed store");
+            trace.push_back(TraceOp::store(addr, size, value));
+        } else if (tag == "C") {
+            CformOp op;
+            std::string nt;
+            if (!(ss >> std::hex >> op.lineAddr >> op.setBits >> op.mask))
+                fail("malformed cform");
+            op.nonTemporal = static_cast<bool>(ss >> nt) && nt == "nt";
+            trace.push_back(TraceOp::cformOp(op));
+        } else if (tag == "X") {
+            std::uint32_t ops;
+            if (!(ss >> std::dec >> ops))
+                fail("malformed compute");
+            trace.push_back(TraceOp::compute(ops));
+        } else {
+            fail("unknown op '" + tag + "'");
+        }
+    }
+    return trace;
+}
+
+} // namespace califorms

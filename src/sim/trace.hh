@@ -1,0 +1,69 @@
+/**
+ * @file trace.hh
+ * Memory trace representation, replay, and a plain-text serialization
+ * format. Lets downstream users drive the simulated machine from
+ * recorded or generated traces without writing C++ — the classic
+ * trace-driven simulator workflow.
+ *
+ * Text format, one op per line (comments start with '#'):
+ *
+ *   L <addr-hex> <size> [dep]        load; "dep" marks pointer chasing
+ *   S <addr-hex> <size> <value-hex>  store
+ *   C <line-hex> <set-hex> <mask-hex> [nt]  CFORM (nt = non-temporal)
+ *   X <ops>                          compute block of <ops> micro-ops
+ */
+
+#ifndef CALIFORMS_SIM_TRACE_HH
+#define CALIFORMS_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/cform.hh"
+#include "sim/machine.hh"
+
+namespace califorms
+{
+
+/** One operation in a trace. */
+struct TraceOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Load,
+        Store,
+        Cform,
+        Compute,
+    };
+
+    Kind kind = Kind::Compute;
+    bool dependsOnPrev = false; //!< loads only
+    std::uint8_t size = 8;      //!< loads/stores
+    std::uint32_t computeOps = 0;
+    Addr addr = 0;
+    std::uint64_t value = 0;    //!< store data
+    CformOp cform{};
+
+    static TraceOp load(Addr addr, unsigned size, bool dep = false);
+    static TraceOp store(Addr addr, unsigned size, std::uint64_t value);
+    static TraceOp cformOp(const CformOp &op);
+    static TraceOp compute(std::uint32_t ops);
+};
+
+using Trace = std::vector<TraceOp>;
+
+/** Replay @p trace on @p machine; returns loads' value XOR (a cheap
+ *  checksum so replays can be compared). */
+std::uint64_t runTrace(Machine &machine, const Trace &trace);
+
+/** Serialize to the text format. */
+void writeTrace(std::ostream &os, const Trace &trace);
+
+/** Parse the text format; throws std::runtime_error on bad input with
+ *  the offending line number. */
+Trace readTrace(std::istream &is);
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_TRACE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file bitops.hh
+ * Small bit manipulation helpers used by the cache line codecs and the
+ * gate-level models. Header-only.
+ */
+
+#ifndef CALIFORMS_UTIL_BITOPS_HH
+#define CALIFORMS_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace califorms
+{
+
+/** Number of set bits in @p v. */
+constexpr unsigned
+popcount64(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Index of the least significant set bit, or 64 if @p v == 0. */
+constexpr unsigned
+findFirstOne(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Index of the least significant clear bit, or 64 if @p v is all ones. */
+constexpr unsigned
+findFirstZero(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_one(v));
+}
+
+/** Mask with bits [lo, lo+len) set. @p len may be 0; lo+len must be <=64. */
+constexpr std::uint64_t
+bitRange(unsigned lo, unsigned len)
+{
+    if (len == 0)
+        return 0;
+    if (len >= 64)
+        return ~0ull << lo;
+    return ((1ull << len) - 1) << lo;
+}
+
+/** True if bit @p i of @p v is set. */
+constexpr bool
+testBit(std::uint64_t v, unsigned i)
+{
+    return (v >> i) & 1;
+}
+
+} // namespace califorms
+
+#endif // CALIFORMS_UTIL_BITOPS_HH

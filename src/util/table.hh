@@ -1,0 +1,40 @@
+/**
+ * @file table.hh
+ * Minimal fixed-width text table used by the benchmark harnesses to print
+ * the paper's tables/figure series in a uniform, diffable format.
+ */
+
+#ifndef CALIFORMS_UTIL_TABLE_HH
+#define CALIFORMS_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace califorms
+{
+
+/** Accumulates rows of strings and renders them with aligned columns. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+    /** Convenience: format a value as a percentage string, e.g. "3.12%". */
+    static std::string pct(double v, int precision = 2);
+
+    /** Render with a separator line under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_UTIL_TABLE_HH

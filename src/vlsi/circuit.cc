@@ -1,0 +1,118 @@
+#include "vlsi/circuit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace califorms
+{
+
+CircuitCost
+CircuitCost::then(const CircuitCost &next) const
+{
+    return CircuitCost{areaGe + next.areaGe, delayNs + next.delayNs,
+                       powerMw + next.powerMw};
+}
+
+CircuitCost
+CircuitCost::alongside(const CircuitCost &other) const
+{
+    return CircuitCost{areaGe + other.areaGe,
+                       std::max(delayNs, other.delayNs),
+                       powerMw + other.powerMw};
+}
+
+CircuitCost
+CircuitBuilder::make(double area, unsigned levels, double activity) const
+{
+    CircuitCost c;
+    c.areaGe = area;
+    c.delayNs = static_cast<double>(levels) * lib_.levelDelayNs;
+    c.powerMw = area * lib_.nwPerGe * activity;
+    return c;
+}
+
+CircuitCost
+CircuitBuilder::logic(double nand2_equivalents, unsigned levels,
+                      double activity) const
+{
+    return make(nand2_equivalents * lib_.geNand2, levels, activity);
+}
+
+CircuitCost
+CircuitBuilder::registerStage(unsigned bits, double activity) const
+{
+    return make(bits * lib_.geDff, 1, activity);
+}
+
+CircuitCost
+CircuitBuilder::decoder(unsigned in_bits, double activity) const
+{
+    // Predecode pairs/triples then AND: 2^n output AND gates plus the
+    // predecoders. Depth: predecode + 2 AND levels.
+    const double outputs = std::pow(2.0, in_bits);
+    const double area =
+        outputs * lib_.geAndOr2 +
+        in_bits * 4 * lib_.geAndOr2; // predecode
+    return make(area, 3, activity);
+}
+
+CircuitCost
+CircuitBuilder::findIndex64(double activity) const
+{
+    // Figure 8: 64 shift blocks followed by a single comparator. Each
+    // shift block is a couple of gates of masking logic; the priority
+    // resolution is logarithmic in depth.
+    const double area = 64 * 6 * lib_.geNand2 + 50 * lib_.geNand2;
+    return make(area, 12, activity);
+}
+
+CircuitCost
+CircuitBuilder::comparator(unsigned bits, double activity) const
+{
+    // XNOR per bit plus an AND tree.
+    const double area =
+        bits * lib_.geXor2 + (bits - 1) * lib_.geAndOr2;
+    const auto tree_levels = static_cast<unsigned>(
+        std::ceil(std::log2(std::max(2u, bits))));
+    return make(area, 1 + tree_levels, activity);
+}
+
+CircuitCost
+CircuitBuilder::orReduce(unsigned n, double activity) const
+{
+    const double area = (n - 1) * lib_.geAndOr2;
+    const auto levels =
+        static_cast<unsigned>(std::ceil(std::log2(std::max(2u, n))));
+    return make(area, levels, activity);
+}
+
+CircuitCost
+CircuitBuilder::mux(unsigned inputs, unsigned width,
+                    double activity) const
+{
+    // A tree of 2:1 muxes per output bit.
+    const double area = width * (inputs - 1) * lib_.geMux2;
+    const auto levels = static_cast<unsigned>(
+        std::ceil(std::log2(std::max(2u, inputs))));
+    return make(area, levels, activity);
+}
+
+CircuitCost
+CircuitBuilder::sram(std::size_t bits, bool small_array,
+                     double activity) const
+{
+    CircuitCost c;
+    const double factor =
+        small_array ? lib_.sramSmallArrayFactor : 1.0;
+    c.areaGe = static_cast<double>(bits) * lib_.sramGePerBit * factor;
+    // Access time grows weakly with capacity; calibrated so a 32KB
+    // array lands near the paper's 1.62ns baseline including the fixed
+    // interconnect floor applied by the designs layer.
+    c.delayNs = 0.62 + 0.05 * std::log2(static_cast<double>(bits) /
+                                        1024.0 + 1.0);
+    // Only a fraction of the array switches per access.
+    c.powerMw = c.areaGe * lib_.nwPerGe * 0.95 * activity;
+    return c;
+}
+
+} // namespace califorms

@@ -1,0 +1,116 @@
+/**
+ * @file circuit.hh
+ * Structural gate-level cost model.
+ *
+ * The paper synthesizes its designs with a TSMC 65nm library and the ARM
+ * Artisan memory compiler (Section 8.1). We cannot run a commercial
+ * flow, so this module models each circuit *structurally*: every block
+ * is composed from primitive gate counts and logic depths that follow
+ * the block diagrams in Figures 8 and 9, and a calibrated 65nm-class
+ * library converts (gates, levels, activity) into area in gate
+ * equivalents (GE), delay in ns and dynamic power in mW. Relative
+ * results — which design is bigger, which path is longer, where
+ * pipelining helps — follow from structure, not calibration.
+ */
+
+#ifndef CALIFORMS_VLSI_CIRCUIT_HH
+#define CALIFORMS_VLSI_CIRCUIT_HH
+
+#include <string>
+#include <vector>
+
+namespace califorms
+{
+
+/** Technology calibration constants (65nm-class). */
+struct GateLibrary
+{
+    double geNand2 = 1.0;    //!< NAND2 is 1 GE by definition
+    double geInv = 0.67;
+    double geAndOr2 = 1.33;
+    double geXor2 = 2.33;
+    double geMux2 = 2.33;
+    double geDff = 4.67;
+
+    double levelDelayNs = 0.075; //!< average logic level incl. wire
+    double fixedDelayNs = 0.5;   //!< setup + interconnect floor per path
+
+    double nwPerGe = 56.0e-6;    //!< mW per GE at full activity, 2GHz
+
+    double sramGePerBit = 1.26;  //!< large array density
+    /** Small arrays pay more overhead per bit (decoders, sense amps
+     *  amortized over fewer columns). */
+    double sramSmallArrayFactor = 1.5;
+};
+
+/** Area/delay/power summary of a circuit block. */
+struct CircuitCost
+{
+    double areaGe = 0.0;
+    double delayNs = 0.0; //!< critical path through the block
+    double powerMw = 0.0;
+
+    /** Blocks in sequence: delays add. */
+    CircuitCost then(const CircuitCost &next) const;
+    /** Blocks side by side: the slower path dominates. */
+    CircuitCost alongside(const CircuitCost &other) const;
+};
+
+/** Composable builder of primitive blocks. */
+class CircuitBuilder
+{
+  public:
+    explicit CircuitBuilder(GateLibrary lib = GateLibrary{}) : lib_(lib) {}
+
+    const GateLibrary &library() const { return lib_; }
+
+    /** Generic combinational block from gate mix and depth. */
+    CircuitCost logic(double nand2_equivalents, unsigned levels,
+                      double activity = 0.4) const;
+
+    /** Register stage of @p bits flops. */
+    CircuitCost registerStage(unsigned bits, double activity = 0.4) const;
+
+    /** n-to-2^n one-hot decoder (e.g. the 6-to-64 decoders, Figure 8). */
+    CircuitCost decoder(unsigned in_bits, double activity = 0.4) const;
+
+    /**
+     * Find-index block (Figure 8): 64 shift blocks followed by a single
+     * comparator, returning the index of the first 0/1 in a 64-bit
+     * vector.
+     */
+    CircuitCost findIndex64(double activity = 0.4) const;
+
+    /** b-bit equality comparator (the blue == blocks of Figure 9). */
+    CircuitCost comparator(unsigned bits, double activity = 0.4) const;
+
+    /** OR-reduction of @p n single-bit inputs. */
+    CircuitCost orReduce(unsigned n, double activity = 0.4) const;
+
+    /** w-wide n-to-1 multiplexer (byte steering / crossbars). */
+    CircuitCost mux(unsigned inputs, unsigned width,
+                    double activity = 0.4) const;
+
+    /** SRAM macro of @p bits. Delay models the full access. */
+    CircuitCost sram(std::size_t bits, bool small_array,
+                     double activity = 1.0) const;
+
+  private:
+    CircuitCost make(double area, unsigned levels, double activity) const;
+
+    GateLibrary lib_;
+};
+
+/** One row of a synthesis report (Table 2 / Table 7 shape). */
+struct SynthesisRow
+{
+    std::string name;
+    CircuitCost main;   //!< whole design (e.g. the L1 cache)
+    CircuitCost fill;   //!< fill module, if applicable
+    CircuitCost spill;  //!< spill module, if applicable
+    bool hasFillSpill = false;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_VLSI_CIRCUIT_HH

@@ -1,0 +1,215 @@
+#include "vlsi/designs.hh"
+
+namespace califorms
+{
+
+namespace
+{
+
+/**
+ * Common L1 pipeline around the arrays: address decode, way/line
+ * select and the output aligner. The data array dominates everything
+ * (the paper reports ~98% of area in SRAM).
+ */
+CircuitCost
+l1CorePipeline(const CircuitBuilder &b, const L1Geometry &g)
+{
+    CircuitCost data = b.sram(g.dataBits(), false, 0.85);
+    CircuitCost tag = b.sram(g.tagArrayBits(), false, 0.9);
+    CircuitCost arrays = data.alongside(tag);
+
+    CircuitCost addr_decode = b.logic(600, 2, 0.5);
+    CircuitCost aligner = b.logic(2800, 1, 0.5);
+    CircuitCost compare = b.comparator(g.tagBits, 0.5);
+
+    // Tag compare runs alongside the data access; the aligner follows.
+    return addr_decode.then(arrays.alongside(compare)).then(aligner);
+}
+
+/** Apply the fixed interconnect/setup floor to a path. */
+CircuitCost
+closePath(const CircuitBuilder &b, CircuitCost c)
+{
+    c.delayNs += b.library().fixedDelayNs;
+    return c;
+}
+
+} // namespace
+
+CircuitCost
+synthesizeL1(const CircuitBuilder &b, const L1Geometry &g,
+             L1Variant variant)
+{
+    CircuitCost core = l1CorePipeline(b, g);
+
+    switch (variant) {
+      case L1Variant::Baseline:
+        return closePath(b, core);
+
+      case L1Variant::Califorms8B: {
+        // Dedicated metadata array, one bit per byte (Figure 5). The
+        // lookup happens in parallel with the tag access (Figure 6); only
+        // the Califorms checker's gating lands after the data.
+        const std::size_t meta_bits = g.lines() * g.lineBytes;
+        CircuitCost meta = b.sram(meta_bits, true, 0.11);
+        CircuitCost checker = b.logic(220, 1, 0.3);
+        CircuitCost c = core.alongside(meta).then(checker);
+        return closePath(b, c);
+      }
+
+      case L1Variant::Califorms4B: {
+        // 4 bits per 8B chunk (Figure 14). The bit vector lives in a
+        // security byte of the chunk, so the hit path must read the
+        // metadata, locate the holder byte, extract it from the data
+        // output and only then run the checker — a serial tail.
+        const std::size_t meta_bits = g.lines() * 4 * 8;
+        CircuitCost meta = b.sram(meta_bits, true, 0.11);
+        CircuitCost locate = b.decoder(3, 0.3);           // holder index
+        CircuitCost extract = b.mux(8, 8, 0.3);           // pull the byte
+        CircuitCost decode = b.logic(8 * 64, 2, 0.3);     // expand vector
+        CircuitCost checker = b.logic(220, 2, 0.3);
+        CircuitCost tail =
+            locate.then(extract).then(decode).then(checker);
+        CircuitCost c = core.alongside(meta).then(tail);
+        return closePath(b, c);
+      }
+
+      case L1Variant::Califorms1B: {
+        // 1 bit per chunk (Figure 15): the holder byte is always the
+        // chunk header, so the locate step disappears and the tail is
+        // shorter — cheaper than 4B in both area and delay (Table 7).
+        const std::size_t meta_bits = g.lines() * 8;
+        CircuitCost meta = b.sram(meta_bits, true, 0.11);
+        CircuitCost extract = b.logic(8 * 24, 1, 0.3);    // fixed byte
+        CircuitCost decode = b.logic(8 * 48, 2, 0.3);
+        CircuitCost checker = b.logic(220, 2, 0.3);
+        CircuitCost tail = extract.then(decode).then(checker);
+        CircuitCost c = core.alongside(meta).then(tail);
+        return closePath(b, c);
+      }
+    }
+    return CircuitCost{};
+}
+
+CircuitCost
+synthesizeFillModule(const CircuitBuilder &b)
+{
+    // Figure 9, left to right. The count-code comparators and the four
+    // address decoders run first; the sentinel comparators for bytes
+    // 4..63 run in parallel; byte restoration and zero gating follow.
+    CircuitCost code_cmp =
+        b.comparator(2, 0.4).alongside(b.comparator(2, 0.4))
+            .alongside(b.comparator(2, 0.4));
+    CircuitCost addr_decoders = b.decoder(6, 0.4)
+                                    .alongside(b.decoder(6, 0.4))
+                                    .alongside(b.decoder(6, 0.4))
+                                    .alongside(b.decoder(6, 0.4));
+
+    // 60 six-bit sentinel comparators over bytes 4..63 (parallel bank).
+    CircuitCost sentinel_bank = b.comparator(6, 0.4);
+    for (int i = 1; i < 60; ++i)
+        sentinel_bank = sentinel_bank.alongside(b.comparator(6, 0.4));
+
+    // Restore the relocated header bytes: four byte-wide 64:1 muxes.
+    CircuitCost restore = b.mux(64, 8, 0.35);
+    for (int i = 1; i < 4; ++i)
+        restore = restore.alongside(b.mux(64, 8, 0.35));
+
+    // Metadata merge and the zero gating of security byte data slots.
+    CircuitCost merge = b.orReduce(64, 0.4).then(b.logic(500, 1, 0.4));
+    CircuitCost zero_gate = b.logic(64 * 8, 1, 0.35);
+
+    // The metadata path (merge) and the data restoration path (restore)
+    // are parallel in Figure 9; only the zero gating consumes both.
+    CircuitCost front = code_cmp.then(addr_decoders)
+                            .alongside(sentinel_bank);
+    return front.then(merge.alongside(restore)).then(zero_gate);
+}
+
+CircuitCost
+synthesizeSpillModule(const CircuitBuilder &b)
+{
+    // Figure 8. Sentinel search path: 64 six-to-64 decoders (one per
+    // byte) -> used-values OR plane -> find-first-zero.
+    CircuitCost decoders = b.decoder(6, 0.35);
+    for (int i = 1; i < 64; ++i)
+        decoders = decoders.alongside(b.decoder(6, 0.35));
+    CircuitCost or_plane = b.orReduce(64, 0.35);
+    for (int i = 1; i < 64; ++i)
+        or_plane = or_plane.alongside(b.orReduce(64, 0.35));
+    CircuitCost sentinel_path =
+        decoders.then(or_plane).then(b.findIndex64(0.35));
+
+    // Security byte locator: four *successive* find-index blocks, each
+    // masking out the hit of the previous one (the paper notes this
+    // chain can be pipelined into four stages; we synthesize the single
+    // cycle version, hence the long path).
+    CircuitCost locate = b.findIndex64(0.35).then(b.logic(130, 2, 0.35));
+    for (int i = 1; i < 4; ++i)
+        locate = locate.then(b.findIndex64(0.35))
+                     .then(b.logic(130, 2, 0.35));
+
+    // Crossbar & combinational logic (Figure 8): relocate the data of
+    // the first four bytes, mark remaining security bytes with the
+    // sentinel, assemble the header.
+    CircuitCost crossbar = b.mux(64, 8, 0.3);
+    for (int i = 1; i < 4; ++i)
+        crossbar = crossbar.alongside(b.mux(64, 8, 0.3));
+    CircuitCost sentinel_mark = b.logic(64 * 8 * 2, 1, 0.3);
+    CircuitCost header_pack = b.logic(400, 3, 0.35);
+    CircuitCost merge = b.logic(800, 2, 0.3);
+
+    // Line-in / line-out staging registers (512 bits each).
+    CircuitCost staging =
+        b.registerStage(512, 0.3).alongside(b.registerStage(512, 0.3));
+
+    CircuitCost path = sentinel_path.alongside(locate)
+                           .then(crossbar.alongside(sentinel_mark))
+                           .then(header_pack)
+                           .then(merge);
+    return path.alongside(staging);
+}
+
+std::vector<SynthesisRow>
+synthesizeAll(const CircuitBuilder &b, const L1Geometry &g)
+{
+    std::vector<SynthesisRow> rows;
+
+    SynthesisRow baseline;
+    baseline.name = "Baseline";
+    baseline.main = synthesizeL1(b, g, L1Variant::Baseline);
+    rows.push_back(baseline);
+
+    const CircuitCost fill = [&] {
+        CircuitCost c = synthesizeFillModule(b);
+        c.delayNs += b.library().fixedDelayNs;
+        return c;
+    }();
+    const CircuitCost spill = [&] {
+        CircuitCost c = synthesizeSpillModule(b);
+        c.delayNs += b.library().fixedDelayNs;
+        return c;
+    }();
+
+    const struct
+    {
+        const char *name;
+        L1Variant variant;
+    } variants[] = {
+        {"Califorms-8B", L1Variant::Califorms8B},
+        {"Califorms-4B", L1Variant::Califorms4B},
+        {"Califorms-1B", L1Variant::Califorms1B},
+    };
+    for (const auto &v : variants) {
+        SynthesisRow row;
+        row.name = v.name;
+        row.main = synthesizeL1(b, g, v.variant);
+        row.fill = fill;
+        row.spill = spill;
+        row.hasFillSpill = true;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace califorms

@@ -1,0 +1,61 @@
+/**
+ * @file designs.hh
+ * Concrete Califorms hardware designs composed from the circuit builder:
+ * the baseline L1 data cache, the three L1 Califorms variants (8B bit
+ * vector of Section 5.1, and the 4B/1B variants of Appendix A), and the
+ * fill/spill conversion modules of Figures 8 and 9. These generate the
+ * rows of Table 2 and Table 7.
+ *
+ * The modeled cache matches the paper's synthesis target: a 32KB direct
+ * mapped L1 with 64B lines (512 lines), in the context of an energy
+ * optimized tag-data-formatting pipeline.
+ */
+
+#ifndef CALIFORMS_VLSI_DESIGNS_HH
+#define CALIFORMS_VLSI_DESIGNS_HH
+
+#include <vector>
+
+#include "vlsi/circuit.hh"
+
+namespace califorms
+{
+
+/** Geometry of the synthesized L1 (Section 8.1). */
+struct L1Geometry
+{
+    std::size_t sizeBytes = 32 * 1024;
+    std::size_t lineBytes = 64;
+    unsigned tagBits = 20;
+
+    std::size_t lines() const { return sizeBytes / lineBytes; }
+    std::size_t dataBits() const { return sizeBytes * 8; }
+    std::size_t tagArrayBits() const { return lines() * tagBits; }
+};
+
+/** Which L1 metadata organization to synthesize. */
+enum class L1Variant
+{
+    Baseline,    //!< no Califorms support
+    Califorms8B, //!< bit vector in dedicated array (Section 5.1)
+    Califorms4B, //!< bit vector in a security byte, 4b/chunk (Figure 14)
+    Califorms1B, //!< bit vector in the header byte, 1b/chunk (Figure 15)
+};
+
+/** Synthesize one L1 variant (main columns of Tables 2 and 7). */
+CircuitCost synthesizeL1(const CircuitBuilder &builder,
+                         const L1Geometry &geometry, L1Variant variant);
+
+/** Synthesize the fill module (Figure 9 / Algorithm 2). */
+CircuitCost synthesizeFillModule(const CircuitBuilder &builder);
+
+/** Synthesize the spill module (Figure 8 / Algorithm 1). */
+CircuitCost synthesizeSpillModule(const CircuitBuilder &builder);
+
+/** All rows of Table 7 (which subsumes Table 2's two rows). */
+std::vector<SynthesisRow> synthesizeAll(const CircuitBuilder &builder,
+                                        const L1Geometry &geometry);
+
+} // namespace califorms
+
+#endif // CALIFORMS_VLSI_DESIGNS_HH

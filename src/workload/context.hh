@@ -1,0 +1,79 @@
+/**
+ * @file context.hh
+ * Execution context handed to workload kernels.
+ *
+ * A kernel sees the simulated machine, the Califorms-aware heap and
+ * stack allocators, a deterministic RNG, and a layout transformer
+ * configured with the experiment's insertion policy. Kernels obtain
+ * security-byte-transformed layouts through layoutOf(), so the same
+ * kernel code runs the baseline (policy None) and every policy
+ * configuration — only the layouts and the CFORM traffic differ,
+ * exactly like recompiling a SPEC benchmark with the paper's LLVM pass.
+ */
+
+#ifndef CALIFORMS_WORKLOAD_CONTEXT_HH
+#define CALIFORMS_WORKLOAD_CONTEXT_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "alloc/heap.hh"
+#include "alloc/stack.hh"
+#include "layout/policy.hh"
+#include "sim/machine.hh"
+#include "util/rng.hh"
+
+namespace califorms
+{
+
+class KernelContext
+{
+  public:
+    KernelContext(Machine &machine, HeapAllocator &heap,
+                  StackAllocator &stack, LayoutTransformer transformer,
+                  std::uint64_t kernel_seed, double scale);
+
+    Machine &machine() { return machine_; }
+    HeapAllocator &heap() { return heap_; }
+    StackAllocator &stack() { return stack_; }
+    Rng &rng() { return rng_; }
+    double scale() const { return scale_; }
+
+    /** Scale an iteration count by the context's work multiplier. */
+    std::size_t
+    n(std::size_t base) const
+    {
+        const auto scaled =
+            static_cast<std::size_t>(static_cast<double>(base) * scale_);
+        return scaled > 0 ? scaled : 1;
+    }
+
+    /** Policy-transformed layout for @p def, cached per definition. */
+    std::shared_ptr<const SecureLayout> layoutOf(const StructDefPtr &def);
+
+    // Field access helpers ---------------------------------------------
+    /** Load field @p field_idx of the element at @p elem_base. */
+    std::uint64_t loadField(Addr elem_base, const SecureLayout &layout,
+                            std::size_t field_idx,
+                            bool depends_on_prev = false);
+
+    /** Store @p value into field @p field_idx. */
+    void storeField(Addr elem_base, const SecureLayout &layout,
+                    std::size_t field_idx, std::uint64_t value);
+
+  private:
+    Machine &machine_;
+    HeapAllocator &heap_;
+    StackAllocator &stack_;
+    LayoutTransformer transformer_;
+    Rng rng_;
+    double scale_;
+    std::unordered_map<const StructDef *,
+                       std::shared_ptr<const SecureLayout>>
+        layoutCache_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_WORKLOAD_CONTEXT_HH

@@ -1,0 +1,586 @@
+#include "workload/kernels.hh"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "workload/primitives.hh"
+
+namespace califorms
+{
+
+namespace
+{
+
+// Struct factories -----------------------------------------------------
+//
+// Each factory builds the representative compound types of its
+// namesake benchmark. Shapes matter: char/short fields next to wider
+// fields create the padding the opportunistic policy harvests, and
+// arrays/pointers are what the intelligent policy fences.
+
+using F = Field;
+
+StructDefPtr
+astarNode()
+{
+    return std::make_shared<StructDef>(
+        "astar_node",
+        std::vector<F>{{"x", Type::intType()},
+                       {"y", Type::intType()},
+                       {"g", Type::floatType()},
+                       {"h", Type::floatType()},
+                       {"parent", Type::pointer("astar_node")},
+                       {"flags", Type::charType()}});
+}
+
+StructDefPtr
+bzip2Block()
+{
+    return std::make_shared<StructDef>(
+        "bzip2_block",
+        std::vector<F>{{"data", Type::array(Type::intType(), 14)},
+                       {"crc", Type::intType()},
+                       {"state", Type::charType()}});
+}
+
+StructDefPtr
+dealiiCell()
+{
+    return std::make_shared<StructDef>(
+        "dealii_cell",
+        std::vector<F>{{"jacobian", Type::array(Type::doubleType(), 4)},
+                       {"level", Type::shortType()},
+                       {"refined", Type::charType()},
+                       {"neighbors", Type::array(Type::pointer(), 4)},
+                       {"measure", Type::doubleType()}});
+}
+
+std::vector<StructDefPtr>
+gccNodes()
+{
+    auto expr = std::make_shared<StructDef>(
+        "gcc_tree_expr",
+        std::vector<F>{{"code", Type::charType()},
+                       {"type", Type::pointer("tree")},
+                       {"op0", Type::pointer("tree")},
+                       {"op1", Type::pointer("tree")},
+                       {"flags", Type::shortType()}});
+    auto decl = std::make_shared<StructDef>(
+        "gcc_tree_decl",
+        std::vector<F>{{"code", Type::charType()},
+                       {"name", Type::pointer("char")},
+                       {"uid", Type::intType()},
+                       {"initial", Type::pointer("tree")},
+                       {"attrs", Type::charType()}});
+    auto rtx = std::make_shared<StructDef>(
+        "gcc_rtx",
+        std::vector<F>{{"code", Type::shortType()},
+                       {"mode", Type::charType()},
+                       {"ops", Type::array(Type::pointer(), 3)}});
+    return {expr, decl, rtx};
+}
+
+StructDefPtr
+gobmkBoard()
+{
+    return std::make_shared<StructDef>(
+        "gobmk_board_state",
+        std::vector<F>{{"board", Type::array(Type::charType(), 41)},
+                       {"ko_pos", Type::intType()},
+                       {"captures", Type::array(Type::intType(), 2)},
+                       {"hash", Type::longType()}});
+}
+
+StructDefPtr
+h264Macroblock()
+{
+    return std::make_shared<StructDef>(
+        "h264_macroblock",
+        std::vector<F>{{"qp", Type::charType()},
+                       {"mb_type", Type::shortType()},
+                       {"mvd", Type::array(Type::shortType(), 16)},
+                       {"cbp", Type::intType()},
+                       {"intra_pred", Type::array(Type::charType(), 9)},
+                       {"ref_pic", Type::pointer("picture")}});
+}
+
+StructDefPtr
+hmmerState()
+{
+    return std::make_shared<StructDef>(
+        "hmmer_dp_cell",
+        std::vector<F>{{"mmx", Type::intType()},
+                       {"imx", Type::intType()},
+                       {"dmx", Type::intType()},
+                       {"xmx", Type::intType()}});
+}
+
+StructDefPtr
+lbmCell()
+{
+    return std::make_shared<StructDef>(
+        "lbm_cell",
+        std::vector<F>{{"f", Type::array(Type::doubleType(), 19)},
+                       {"flags", Type::charType()}});
+}
+
+StructDefPtr
+libquantumGate()
+{
+    return std::make_shared<StructDef>(
+        "quantum_reg_node",
+        std::vector<F>{{"state", Type::longType()},
+                       {"amp_re", Type::floatType()},
+                       {"amp_im", Type::floatType()}});
+}
+
+std::vector<StructDefPtr>
+mcfStructs()
+{
+    auto node = std::make_shared<StructDef>(
+        "mcf_node",
+        std::vector<F>{{"potential", Type::longType()},
+                       {"orientation", Type::charType()},
+                       {"child", Type::pointer("node")},
+                       {"pred", Type::pointer("node")},
+                       {"basic_arc", Type::pointer("arc")},
+                       {"flow", Type::longType()},
+                       {"depth", Type::intType()}});
+    auto arc = std::make_shared<StructDef>(
+        "mcf_arc",
+        std::vector<F>{{"cost", Type::longType()},
+                       {"tail", Type::pointer("node")},
+                       {"head", Type::pointer("node")},
+                       {"ident", Type::shortType()},
+                       {"flow", Type::longType()}});
+    return {node, arc};
+}
+
+StructDefPtr
+milcSite()
+{
+    return std::make_shared<StructDef>(
+        "milc_site",
+        std::vector<F>{{"link", Type::array(Type::doubleType(), 18)},
+                       {"coords", Type::array(Type::intType(), 6)},
+                       {"parity", Type::charType()}});
+}
+
+StructDefPtr
+namdAtom()
+{
+    return std::make_shared<StructDef>(
+        "namd_atom",
+        std::vector<F>{{"pos", Type::array(Type::doubleType(), 3)},
+                       {"vel", Type::array(Type::doubleType(), 3)},
+                       {"charge", Type::floatType()},
+                       {"type", Type::shortType()}});
+}
+
+StructDefPtr
+omnetppMessage()
+{
+    return std::make_shared<StructDef>(
+        "omnetpp_cmessage",
+        std::vector<F>{{"kind", Type::shortType()},
+                       {"priority", Type::charType()},
+                       {"timestamp", Type::doubleType()},
+                       {"src_gate", Type::pointer("cGate")},
+                       {"dst_gate", Type::pointer("cGate")},
+                       {"payload", Type::array(Type::charType(), 12)}});
+}
+
+std::vector<StructDefPtr>
+perlStructs()
+{
+    auto sv = std::make_shared<StructDef>(
+        "perl_sv",
+        std::vector<F>{{"any", Type::pointer()},
+                       {"refcnt", Type::intType()},
+                       {"flags", Type::charType()}});
+    auto hek = std::make_shared<StructDef>(
+        "perl_hek",
+        std::vector<F>{{"hash", Type::intType()},
+                       {"len", Type::shortType()},
+                       {"key", Type::array(Type::charType(), 13)}});
+    auto op = std::make_shared<StructDef>(
+        "perl_op",
+        std::vector<F>{{"next", Type::pointer("op")},
+                       {"sibling", Type::pointer("op")},
+                       {"ppaddr", Type::functionPointer()},
+                       {"type", Type::charType()},
+                       {"flags", Type::charType()}});
+    return {sv, hek, op};
+}
+
+StructDefPtr
+povrayRay()
+{
+    return std::make_shared<StructDef>(
+        "povray_intersection",
+        std::vector<F>{{"point", Type::array(Type::doubleType(), 3)},
+                       {"normal", Type::array(Type::doubleType(), 3)},
+                       {"depth", Type::doubleType()},
+                       {"object", Type::pointer("object")},
+                       {"inside", Type::charType()}});
+}
+
+StructDefPtr
+sjengEntry()
+{
+    return std::make_shared<StructDef>(
+        "sjeng_hash_entry",
+        std::vector<F>{{"hash", Type::longType()},
+                       {"score", Type::shortType()},
+                       {"best_move", Type::shortType()},
+                       {"depth", Type::charType()},
+                       {"flag", Type::charType()}});
+}
+
+StructDefPtr
+soplexNonzero()
+{
+    return std::make_shared<StructDef>(
+        "soplex_nonzero",
+        std::vector<F>{{"val", Type::doubleType()},
+                       {"idx", Type::intType()}});
+}
+
+StructDefPtr
+sphinxSenone()
+{
+    return std::make_shared<StructDef>(
+        "sphinx_senone",
+        std::vector<F>{{"means", Type::array(Type::floatType(), 8)},
+                       {"vars", Type::array(Type::floatType(), 8)},
+                       {"mixw", Type::shortType()},
+                       {"active", Type::charType()}});
+}
+
+std::vector<StructDefPtr>
+xalanStructs()
+{
+    auto node = std::make_shared<StructDef>(
+        "xalan_dom_node",
+        std::vector<F>{{"node_type", Type::charType()},
+                       {"parent", Type::pointer("DOMNode")},
+                       {"first_child", Type::pointer("DOMNode")},
+                       {"next_sibling", Type::pointer("DOMNode")},
+                       {"name_id", Type::intType()}});
+    auto attr = std::make_shared<StructDef>(
+        "xalan_attribute",
+        std::vector<F>{{"name_id", Type::intType()},
+                       {"flags", Type::charType()},
+                       {"value", Type::pointer("XMLCh")}});
+    return {node, attr};
+}
+
+// Kernels ---------------------------------------------------------------
+//
+// Iteration counts and compute ratios are calibrated so the suite's
+// cache behaviour brackets the Table 3 hierarchy the way the real
+// benchmarks do: hmmer lives in the L1, xalancbmk in the L2, mcf just
+// beyond the L3, lbm/libquantum/milc in DRAM. Bulk scalar arrays are
+// allocated raw (the compiler pass never pads int/double arrays), so
+// the insertion policies inflate exactly the struct-resident share of
+// each footprint.
+
+/** astar: A* path finding — pointer-heavy graph walk over an L3-scale
+ *  node pool with real search work at every expansion. */
+void
+kernelAstar(KernelContext &ctx)
+{
+    StructArray nodes = allocArray(ctx, astarNode(), 18000);
+    pointerChase(ctx, nodes, ctx.n(60000), 1, 96, 1);
+    randomProbe(ctx, nodes, ctx.n(15000), 24);
+}
+
+/** bzip2: block compression — the block and sort arrays are plain int
+ *  arrays (never padded); only small header structs exist. */
+void
+kernelBzip2(KernelContext &ctx)
+{
+    RawArray block = allocRaw(ctx, 900 * 1024);
+    StructArray headers = allocArray(ctx, bzip2Block(), 400);
+    rawStream(ctx, block, 2, 6);
+    rawProbe(ctx, block, ctx.n(90000), 8);
+    streamPass(ctx, headers, 4, 3, 10);
+}
+
+/** dealII: adaptive FEM — struct-dense cell sweeps with neighbor
+ *  probing; working set around the L3 boundary. */
+void
+kernelDealii(KernelContext &ctx)
+{
+    StructArray cells = allocArray(ctx, dealiiCell(), 8000);
+    streamPass(ctx, cells, 3, 4, 24);
+    randomProbe(ctx, cells, ctx.n(15000), 18);
+}
+
+/** gcc: compilation — bursty allocation of small tree/rtx nodes plus
+ *  pointer chasing through the IR. */
+void
+kernelGcc(KernelContext &ctx)
+{
+    const auto defs = gccNodes();
+    allocChurn(ctx, defs, 3000, ctx.n(25000), 16);
+    StructArray ir = allocArray(ctx, defs[0], 12000);
+    pointerChase(ctx, ir, ctx.n(25000), 1, 48, 1);
+}
+
+/** gobmk: go engine — deep recursion with large board locals on the
+ *  stack (lots of stack CFORM traffic) plus pattern probes. */
+void
+kernelGobmk(KernelContext &ctx)
+{
+    stackWork(ctx, gobmkBoard(), 24, 6, ctx.n(2600));
+    StructArray patterns = allocArray(ctx, gobmkBoard(), 3000);
+    randomProbe(ctx, patterns, ctx.n(90000), 14);
+}
+
+/** h264ref: video encoding — macroblock structs plus raw reference
+ *  frame pixels, with per-frame buffer churn. */
+void
+kernelH264ref(KernelContext &ctx)
+{
+    const auto mb = h264Macroblock();
+    RawArray ref_frame = allocRaw(ctx, 512 * 1024);
+    const std::size_t frames = std::max<std::size_t>(1, ctx.n(4));
+    for (std::size_t frame = 0; frame < frames; ++frame) {
+        StructArray mbs = allocArray(ctx, mb, 16000);
+        streamPass(ctx, mbs, 3, 4, 12);
+        randomProbe(ctx, mbs, ctx.n(15000), 8);
+        ctx.heap().free(mbs.base);
+    }
+    rawStream(ctx, ref_frame, 1, 6);
+}
+
+/** hmmer: profile HMM search — dynamic programming over a tiny,
+ *  L1-resident DP matrix with heavy integer compute, plus occasional
+ *  probes into an L2-resident transition table. */
+void
+kernelHmmer(KernelContext &ctx)
+{
+    StructArray dp = allocArray(ctx, hmmerState(), 500);
+    RawArray transitions = allocRaw(ctx, 96 * 1024);
+    streamPass(ctx, dp, std::max(1u, static_cast<unsigned>(ctx.n(300))),
+               4, 16);
+    rawProbe(ctx, transitions, ctx.n(20000), 12);
+}
+
+/** lbm: lattice Boltzmann — the grid is a plain array of doubles
+ *  (never padded); a small control struct set rides along. */
+void
+kernelLbm(KernelContext &ctx)
+{
+    RawArray grid = allocRaw(ctx, 4000 * 1024);
+    StructArray ctrl = allocArray(ctx, lbmCell(), 500);
+    rawStream(ctx, grid, 2, 4);
+    streamPass(ctx, ctrl, 4, 4, 10);
+}
+
+/** libquantum: quantum simulation — sequential sweeps over a large
+ *  register of 16B struct nodes with almost no compute per element;
+ *  the paper's most padding-sensitive benchmark (Figure 11's >80%
+ *  outlier) because every byte of its footprint is a padded struct. */
+void
+kernelLibquantum(KernelContext &ctx)
+{
+    StructArray reg = allocArray(ctx, libquantumGate(), 250000);
+    streamPass(ctx, reg, 2, 2, 10);
+}
+
+/** mcf: network simplex — the classic DRAM-latency-bound dependent
+ *  pointer chase over nodes and arcs just beyond the L3. */
+void
+kernelMcf(KernelContext &ctx)
+{
+    const auto defs = mcfStructs();
+    StructArray nodes = allocArray(ctx, defs[0], 90000);
+    StructArray arcs = allocArray(ctx, defs[1], 60000);
+    pointerChase(ctx, nodes, ctx.n(100000), 1, 32, 4);
+    randomProbe(ctx, arcs, ctx.n(40000), 8);
+}
+
+/** milc: lattice QCD — streaming su3 matrix sweeps over a multi-MB
+ *  lattice of array-dominated structs with strided neighbor gathers. */
+void
+kernelMilc(KernelContext &ctx)
+{
+    StructArray lattice = allocArray(ctx, milcSite(), 40000);
+    streamPass(ctx, lattice, 3, 4, 28);
+    randomProbe(ctx, lattice, ctx.n(20000), 14);
+}
+
+/** namd: molecular dynamics — cache-blocked force loops over a small
+ *  atom set, dominated by floating point compute. */
+void
+kernelNamd(KernelContext &ctx)
+{
+    StructArray atoms = allocArray(ctx, namdAtom(), 1600);
+    streamPass(ctx, atoms, std::max(1u, static_cast<unsigned>(ctx.n(40))),
+               4, 36);
+}
+
+/** omnetpp: discrete event simulation — allocation churn of message
+ *  objects through an L2-scale live pool. */
+void
+kernelOmnetpp(KernelContext &ctx)
+{
+    allocChurn(ctx, {omnetppMessage()}, 6000, ctx.n(45000), 80);
+}
+
+/** perlbench: interpreter — notoriously malloc-intensive (Section 8.2):
+ *  high-rate churn of small SV/HEK/OP cells plus hash probing. */
+void
+kernelPerlbench(KernelContext &ctx)
+{
+    const auto defs = perlStructs();
+    allocChurn(ctx, defs, 10000, ctx.n(40000), 56);
+    StructArray symtab = allocArray(ctx, defs[1], 2500);
+    randomProbe(ctx, symtab, ctx.n(25000), 8);
+}
+
+/** povray: ray tracing — deep recursive intersection stack work and a
+ *  small object set; compute dominated. */
+void
+kernelPovray(KernelContext &ctx)
+{
+    stackWork(ctx, povrayRay(), 16, 4, ctx.n(1400));
+    StructArray objects = allocArray(ctx, povrayRay(), 600);
+    streamPass(ctx, objects, std::max(1u, static_cast<unsigned>(ctx.n(25))),
+               3, 30);
+}
+
+/** sjeng: chess search — random transposition-table probes over a
+ *  ~1MB table plus stack frames for the search tree. */
+void
+kernelSjeng(KernelContext &ctx)
+{
+    RawArray tt = allocRaw(ctx, 200000 * 16);
+    StructArray killers = allocArray(ctx, sjengEntry(), 2000);
+    rawProbe(ctx, tt, ctx.n(80000), 16);
+    randomProbe(ctx, killers, ctx.n(20000), 12);
+    stackWork(ctx, gobmkBoard(), 12, 3, ctx.n(500));
+}
+
+/** soplex: simplex LP — sparse nonzero structs plus raw dense vectors
+ *  (the rhs/solution arrays are plain doubles). */
+void
+kernelSoplex(KernelContext &ctx)
+{
+    StructArray nz = allocArray(ctx, soplexNonzero(), 40000);
+    RawArray vectors = allocRaw(ctx, 1500 * 1024);
+    streamPass(ctx, nz, 10, 2, 8);
+    rawStream(ctx, vectors, 4, 4);
+    randomProbe(ctx, nz, ctx.n(50000), 6);
+}
+
+/** sphinx3: speech recognition — gaussian scoring over an L2/L3
+ *  senone table plus raw feature frames. */
+void
+kernelSphinx3(KernelContext &ctx)
+{
+    StructArray senones = allocArray(ctx, sphinxSenone(), 9000);
+    RawArray features = allocRaw(ctx, 768 * 1024);
+    streamPass(ctx, senones,
+               std::max(1u, static_cast<unsigned>(ctx.n(14))), 4, 18);
+    rawStream(ctx, features, 2, 8);
+}
+
+/** xalancbmk: XSLT — DOM tree walking with an L2-resident node set and
+ *  steady allocation of result nodes; the most L2-latency-sensitive
+ *  benchmark in Figure 10. */
+void
+kernelXalancbmk(KernelContext &ctx)
+{
+    const auto defs = xalanStructs();
+    StructArray dom = allocArray(ctx, defs[0], 2500);
+    pointerChase(ctx, dom, ctx.n(90000), 1, 48, 1);
+    allocChurn(ctx, {defs[1]}, 4000, ctx.n(25000), 8);
+}
+
+
+} // namespace
+
+const std::vector<SpecBenchmark> &
+spec2006Suite()
+{
+    static const std::vector<SpecBenchmark> suite = {
+        {"astar", true, kernelAstar},
+        {"bzip2", true, kernelBzip2},
+        {"dealII", false, kernelDealii},
+        {"gcc", false, kernelGcc},
+        {"gobmk", true, kernelGobmk},
+        {"h264ref", true, kernelH264ref},
+        {"hmmer", true, kernelHmmer},
+        {"lbm", true, kernelLbm},
+        {"libquantum", true, kernelLibquantum},
+        {"mcf", true, kernelMcf},
+        {"milc", true, kernelMilc},
+        {"namd", true, kernelNamd},
+        {"omnetpp", false, kernelOmnetpp},
+        {"perlbench", true, kernelPerlbench},
+        {"povray", true, kernelPovray},
+        {"sjeng", true, kernelSjeng},
+        {"soplex", true, kernelSoplex},
+        {"sphinx3", true, kernelSphinx3},
+        {"xalancbmk", true, kernelXalancbmk},
+    };
+    return suite;
+}
+
+const SpecBenchmark &
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : spec2006Suite())
+        if (b.name == name)
+            return b;
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+std::vector<StructDefPtr>
+kernelStructs(const std::string &name)
+{
+    static const std::map<std::string,
+                          std::function<std::vector<StructDefPtr>()>>
+        factories = {
+            {"astar", [] { return std::vector<StructDefPtr>{astarNode()}; }},
+            {"bzip2",
+             [] { return std::vector<StructDefPtr>{bzip2Block()}; }},
+            {"dealII",
+             [] { return std::vector<StructDefPtr>{dealiiCell()}; }},
+            {"gcc", [] { return gccNodes(); }},
+            {"gobmk",
+             [] { return std::vector<StructDefPtr>{gobmkBoard()}; }},
+            {"h264ref",
+             [] { return std::vector<StructDefPtr>{h264Macroblock()}; }},
+            {"hmmer",
+             [] { return std::vector<StructDefPtr>{hmmerState()}; }},
+            {"lbm", [] { return std::vector<StructDefPtr>{lbmCell()}; }},
+            {"libquantum",
+             [] { return std::vector<StructDefPtr>{libquantumGate()}; }},
+            {"mcf", [] { return mcfStructs(); }},
+            {"milc", [] { return std::vector<StructDefPtr>{milcSite()}; }},
+            {"namd", [] { return std::vector<StructDefPtr>{namdAtom()}; }},
+            {"omnetpp",
+             [] { return std::vector<StructDefPtr>{omnetppMessage()}; }},
+            {"perlbench", [] { return perlStructs(); }},
+            {"povray",
+             [] { return std::vector<StructDefPtr>{povrayRay()}; }},
+            {"sjeng",
+             [] { return std::vector<StructDefPtr>{sjengEntry()}; }},
+            {"soplex",
+             [] { return std::vector<StructDefPtr>{soplexNonzero()}; }},
+            {"sphinx3",
+             [] { return std::vector<StructDefPtr>{sphinxSenone()}; }},
+            {"xalancbmk", [] { return xalanStructs(); }},
+        };
+    auto it = factories.find(name);
+    if (it == factories.end())
+        throw std::invalid_argument("unknown benchmark: " + name);
+    return it->second();
+}
+
+} // namespace califorms

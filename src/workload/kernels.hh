@@ -1,0 +1,49 @@
+/**
+ * @file kernels.hh
+ * The SPEC CPU2006-like workload suite.
+ *
+ * SPEC sources and ref inputs cannot be shipped, so each benchmark is
+ * modelled by a synthetic kernel that reproduces its published memory
+ * behaviour: working set size relative to the Table 3 cache hierarchy,
+ * pointer-chasing vs streaming vs random probing mix, allocation
+ * intensity, struct shapes (and therefore padding opportunities), and
+ * compute-to-memory ratio. The suite drives every performance figure
+ * (4, 10, 11, 12); the paper's exclusions are tagged so the software
+ * experiments run the same 16-benchmark subset as Section 8.2.
+ */
+
+#ifndef CALIFORMS_WORKLOAD_KERNELS_HH
+#define CALIFORMS_WORKLOAD_KERNELS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/context.hh"
+
+namespace califorms
+{
+
+/** One suite entry. */
+struct SpecBenchmark
+{
+    std::string name;
+    /** False for the three benchmarks the paper's software evaluation
+     *  omits (dealII, omnetpp: library issues; gcc: allocator issue). */
+    bool inSoftwareEval = true;
+    std::function<void(KernelContext &)> run;
+};
+
+/** The 19 C/C++ benchmarks of Figure 10, in the paper's order. */
+const std::vector<SpecBenchmark> &spec2006Suite();
+
+/** Look up a benchmark by name (throws if unknown). */
+const SpecBenchmark &findBenchmark(const std::string &name);
+
+/** The struct definitions a kernel allocates (exposed for the density
+ *  pass and for tests). */
+std::vector<StructDefPtr> kernelStructs(const std::string &name);
+
+} // namespace califorms
+
+#endif // CALIFORMS_WORKLOAD_KERNELS_HH

@@ -1,0 +1,209 @@
+#include "workload/primitives.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace califorms
+{
+
+namespace
+{
+
+/** Index of the first scalar field of at least @p min_size bytes;
+ *  falls back to field 0. */
+std::size_t
+linkFieldIndex(const SecureLayout &layout, std::size_t min_size)
+{
+    for (std::size_t i = 0; i < layout.fields.size(); ++i)
+        if (layout.fields[i].size >= min_size)
+            return i;
+    return 0;
+}
+
+} // namespace
+
+StructArray
+allocArray(KernelContext &ctx, const StructDefPtr &def, std::size_t count)
+{
+    StructArray arr;
+    arr.layout = ctx.layoutOf(def);
+    arr.count = count;
+    arr.base = ctx.heap().allocate(arr.layout, count);
+    return arr;
+}
+
+RawArray
+allocRaw(KernelContext &ctx, std::size_t bytes)
+{
+    return RawArray{ctx.heap().allocateRaw(bytes), bytes};
+}
+
+void
+rawStream(KernelContext &ctx, const RawArray &arr, unsigned passes,
+          unsigned compute)
+{
+    const std::size_t words = arr.bytes / 8;
+    for (unsigned p = 0; p < passes; ++p) {
+        for (std::size_t w = 0; w < words; ++w) {
+            const Addr a = arr.base + 8 * w;
+            ctx.machine().load(a, 8);
+            if (w % 8 == 0)
+                ctx.machine().store(a, 8, w + p);
+            if (compute)
+                ctx.machine().compute(compute);
+        }
+    }
+}
+
+void
+rawProbe(KernelContext &ctx, const RawArray &arr, std::size_t probes,
+         unsigned compute)
+{
+    const std::size_t words = arr.bytes / 8;
+    for (std::size_t p = 0; p < probes; ++p) {
+        const Addr a = arr.base + 8 * ctx.rng().nextBelow(words);
+        ctx.machine().load(a, 8);
+        if (compute)
+            ctx.machine().compute(compute);
+    }
+}
+
+void
+pointerChase(KernelContext &ctx, const StructArray &arr, std::size_t steps,
+             unsigned extra_fields, unsigned compute,
+             unsigned dep_quarters)
+{
+    const SecureLayout &layout = *arr.layout;
+    const std::size_t link = linkFieldIndex(layout, 4);
+
+    // Build a single-cycle random permutation (Sattolo's algorithm) so
+    // the chase visits every element before repeating — the classic
+    // linked list walk.
+    std::vector<std::uint32_t> next(arr.count);
+    std::iota(next.begin(), next.end(), 0);
+    for (std::size_t i = arr.count - 1; i > 0; --i) {
+        const std::size_t j = ctx.rng().nextBelow(i);
+        std::swap(next[i], next[j]);
+    }
+    for (std::size_t i = 0; i < arr.count; ++i)
+        ctx.storeField(arr.elem(i), layout, link, next[i]);
+
+    std::size_t cur = 0;
+    for (std::size_t s = 0; s < steps; ++s) {
+        const bool dependent = (s % 4) < dep_quarters;
+        const std::uint64_t nxt =
+            ctx.loadField(arr.elem(cur), layout, link, dependent);
+        for (unsigned f = 0; f < extra_fields &&
+                             f + 1 < layout.fields.size(); ++f)
+            ctx.loadField(arr.elem(cur), layout, f + 1 == link ? 0 : f + 1);
+        if (compute)
+            ctx.machine().compute(compute);
+        cur = static_cast<std::size_t>(nxt) % arr.count;
+    }
+}
+
+void
+streamPass(KernelContext &ctx, const StructArray &arr, unsigned passes,
+           unsigned fields_per_elem, unsigned compute)
+{
+    const SecureLayout &layout = *arr.layout;
+    const std::size_t nfields = layout.fields.size();
+    for (unsigned p = 0; p < passes; ++p) {
+        for (std::size_t i = 0; i < arr.count; ++i) {
+            const Addr e = arr.elem(i);
+            const unsigned loads = std::min<unsigned>(
+                fields_per_elem, static_cast<unsigned>(nfields));
+            for (unsigned f = 0; f < loads; ++f)
+                ctx.loadField(e, layout, f);
+            ctx.storeField(e, layout, 0, i + p);
+            if (compute)
+                ctx.machine().compute(compute);
+        }
+    }
+}
+
+void
+randomProbe(KernelContext &ctx, const StructArray &arr, std::size_t probes,
+            unsigned compute)
+{
+    const SecureLayout &layout = *arr.layout;
+    const std::size_t nfields = layout.fields.size();
+    for (std::size_t p = 0; p < probes; ++p) {
+        const std::size_t i = ctx.rng().nextBelow(arr.count);
+        const Addr e = arr.elem(i);
+        ctx.loadField(e, layout, 0);
+        if (nfields > 1)
+            ctx.loadField(e, layout, nfields / 2);
+        if (compute)
+            ctx.machine().compute(compute);
+    }
+}
+
+void
+allocChurn(KernelContext &ctx, const std::vector<StructDefPtr> &defs,
+           std::size_t pool_size, std::size_t rounds, unsigned compute)
+{
+    struct Live
+    {
+        Addr addr;
+        std::shared_ptr<const SecureLayout> layout;
+    };
+    std::vector<Live> pool;
+    pool.reserve(pool_size);
+
+    auto touch = [&](const Live &obj) {
+        const std::size_t nfields = obj.layout->fields.size();
+        ctx.storeField(obj.addr, *obj.layout, 0, 1);
+        if (nfields > 1)
+            ctx.loadField(obj.addr, *obj.layout, nfields - 1);
+    };
+
+    for (std::size_t i = 0; i < pool_size; ++i) {
+        const auto &def = defs[ctx.rng().nextBelow(defs.size())];
+        Live obj{0, ctx.layoutOf(def)};
+        obj.addr = ctx.heap().allocate(obj.layout);
+        touch(obj);
+        pool.push_back(std::move(obj));
+    }
+
+    for (std::size_t r = 0; r < rounds; ++r) {
+        const std::size_t victim = ctx.rng().nextBelow(pool.size());
+        ctx.heap().free(pool[victim].addr);
+        const auto &def = defs[ctx.rng().nextBelow(defs.size())];
+        Live obj{0, ctx.layoutOf(def)};
+        obj.addr = ctx.heap().allocate(obj.layout);
+        touch(obj);
+        pool[victim] = std::move(obj);
+        if (compute)
+            ctx.machine().compute(compute);
+    }
+
+    for (const Live &obj : pool)
+        ctx.heap().free(obj.addr);
+}
+
+void
+stackWork(KernelContext &ctx, const StructDefPtr &def, unsigned depth,
+          unsigned touches, std::size_t repeats)
+{
+    const auto layout = ctx.layoutOf(def);
+    for (std::size_t r = 0; r < repeats; ++r) {
+        std::vector<Addr> locals;
+        for (unsigned d = 0; d < depth; ++d) {
+            ctx.stack().enterFrame();
+            const Addr local = ctx.stack().allocateLocal(layout);
+            locals.push_back(local);
+            for (unsigned t = 0; t < touches; ++t) {
+                const std::size_t f =
+                    ctx.rng().nextBelow(layout->fields.size());
+                ctx.storeField(local, *layout, f, t);
+                ctx.loadField(local, *layout, f);
+            }
+            ctx.machine().compute(4);
+        }
+        for (unsigned d = 0; d < depth; ++d)
+            ctx.stack().leaveFrame();
+    }
+}
+
+} // namespace califorms

@@ -1,0 +1,110 @@
+/**
+ * @file primitives.hh
+ * Reusable memory behaviour primitives the SPEC-like kernels compose:
+ * pointer chasing, array streaming, random probing, allocation churn
+ * and stack-frame work. Each primitive drives real allocations through
+ * the Califorms allocator and real loads/stores through the simulated
+ * hierarchy, so insertion policies change addresses, footprints and
+ * CFORM traffic exactly as they would for a recompiled binary.
+ */
+
+#ifndef CALIFORMS_WORKLOAD_PRIMITIVES_HH
+#define CALIFORMS_WORKLOAD_PRIMITIVES_HH
+
+#include <vector>
+
+#include "workload/context.hh"
+
+namespace califorms
+{
+
+/** A heap array of @p count structs laid out per the context policy. */
+struct StructArray
+{
+    Addr base = 0;
+    std::shared_ptr<const SecureLayout> layout;
+    std::size_t count = 0;
+
+    Addr
+    elem(std::size_t i) const
+    {
+        return base + i * layout->size;
+    }
+};
+
+/** Allocate an array of @p count instances of @p def. */
+StructArray allocArray(KernelContext &ctx, const StructDefPtr &def,
+                       std::size_t count);
+
+/**
+ * A raw (scalar array) heap buffer. Real benchmarks keep much of their
+ * footprint in plain arrays of int/double — data the compiler pass
+ * never pads — so insertion policies must leave these untouched. Only
+ * the allocator's inter-object guards protect them.
+ */
+struct RawArray
+{
+    Addr base = 0;
+    std::size_t bytes = 0;
+};
+
+/** Allocate a raw buffer of @p bytes. */
+RawArray allocRaw(KernelContext &ctx, std::size_t bytes);
+
+/** Sequential 8B sweeps over a raw buffer (@p passes times), storing to
+ *  every 8th word, with @p compute ops per word. */
+void rawStream(KernelContext &ctx, const RawArray &arr, unsigned passes,
+               unsigned compute);
+
+/** Random 8B probes into a raw buffer. */
+void rawProbe(KernelContext &ctx, const RawArray &arr, std::size_t probes,
+              unsigned compute);
+
+/**
+ * Build a randomized circular chain over the array's elements and chase
+ * it for @p steps loads, touching @p extra_fields additional fields per
+ * node and doing @p compute ALU ops per hop. The successor index is
+ * stored in the first >=4-byte scalar field. @p dep_quarters (0..4)
+ * sets how many of every four hops expose the full serial latency —
+ * real traversals interleave independent work (sibling subtrees, other
+ * chains) that an OoO window overlaps, so few codes are 4/4 chases.
+ */
+void pointerChase(KernelContext &ctx, const StructArray &arr,
+                  std::size_t steps, unsigned extra_fields,
+                  unsigned compute, unsigned dep_quarters = 4);
+
+/**
+ * Stream over the array @p passes times, loading @p fields_per_elem
+ * fields and storing to one, with @p compute ALU ops per element.
+ */
+void streamPass(KernelContext &ctx, const StructArray &arr,
+                unsigned passes, unsigned fields_per_elem,
+                unsigned compute);
+
+/** Random element probes: load a couple of fields of a random element,
+ *  @p probes times, with @p compute ops between probes. */
+void randomProbe(KernelContext &ctx, const StructArray &arr,
+                 std::size_t probes, unsigned compute);
+
+/**
+ * Allocation churn: maintain a pool of @p pool_size live objects of the
+ * given types; each round frees a random victim and allocates a
+ * replacement, touching its fields once. Models malloc-intensive
+ * benchmarks (perlbench, omnetpp, xalancbmk).
+ */
+void allocChurn(KernelContext &ctx,
+                const std::vector<StructDefPtr> &defs,
+                std::size_t pool_size, std::size_t rounds,
+                unsigned compute);
+
+/**
+ * Stack-frame work: recursive call pattern of @p depth frames, each
+ * with a local of type @p def whose fields are touched @p touches
+ * times (gobmk/povray-style).
+ */
+void stackWork(KernelContext &ctx, const StructDefPtr &def,
+               unsigned depth, unsigned touches, std::size_t repeats);
+
+} // namespace califorms
+
+#endif // CALIFORMS_WORKLOAD_PRIMITIVES_HH

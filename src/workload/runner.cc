@@ -1,0 +1,48 @@
+#include "workload/runner.hh"
+
+namespace califorms
+{
+
+RunConfig &
+RunConfig::withCform(bool on)
+{
+    heap.useCform = on;
+    stack.useCform = on;
+    return *this;
+}
+
+RunResult
+runBenchmark(const SpecBenchmark &bench, const RunConfig &config)
+{
+    Machine machine(config.machine, ExceptionUnit::Policy::Record);
+    HeapAllocator heap(machine, config.heap);
+    StackAllocator stack(machine, config.stack);
+    LayoutTransformer transformer(config.policy, config.policyParams,
+                                  config.layoutSeed);
+    KernelContext ctx(machine, heap, stack, std::move(transformer),
+                      config.kernelSeed, config.scale);
+
+    bench.run(ctx);
+
+    RunResult result;
+    result.benchmark = bench.name;
+    result.cycles = machine.cycles();
+    result.instructions = machine.instructions();
+    result.mem = machine.memStats();
+    result.heap = heap.stats();
+    result.exceptionsDelivered = machine.exceptions().deliveredCount();
+    result.exceptionsSuppressed = machine.exceptions().suppressedCount();
+    return result;
+}
+
+double
+slowdownVs(const RunResult &baseline, const RunResult &result)
+{
+    if (baseline.cycles == 0)
+        return 0.0;
+    return static_cast<double>(result.cycles) /
+               static_cast<double>(baseline.cycles) -
+           1.0;
+}
+
+} // namespace califorms

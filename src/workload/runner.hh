@@ -1,0 +1,62 @@
+/**
+ * @file runner.hh
+ * Experiment runner: builds a fresh machine + allocators for one
+ * (benchmark, configuration) pair, runs the kernel, and collects every
+ * statistic the figures need. The kernel RNG seed is independent of the
+ * layout randomization seed, so different policies execute an identical
+ * instruction stream over differently laid-out data — the paper's
+ * "same ref input, recompiled binary" methodology.
+ */
+
+#ifndef CALIFORMS_WORKLOAD_RUNNER_HH
+#define CALIFORMS_WORKLOAD_RUNNER_HH
+
+#include <string>
+
+#include "workload/kernels.hh"
+
+namespace califorms
+{
+
+/** Full configuration of one experimental run. */
+struct RunConfig
+{
+    MachineParams machine{};
+    HeapParams heap{};
+    StackParams stack{};
+    InsertionPolicy policy = InsertionPolicy::None;
+    PolicyParams policyParams{};
+    /** Layout randomization seed — the paper builds three binaries per
+     *  configuration; vary this to model that. */
+    std::uint64_t layoutSeed = 7;
+    /** Kernel work seed — keep fixed across configurations. */
+    std::uint64_t kernelSeed = 0x5eed;
+    /** Work multiplier; 1.0 for benches, smaller for unit tests. */
+    double scale = 1.0;
+
+    /** Convenience: disable CFORM issue on both allocators. */
+    RunConfig &withCform(bool on);
+};
+
+/** Everything measured in one run. */
+struct RunResult
+{
+    std::string benchmark;
+    Cycles cycles = 0;
+    std::uint64_t instructions = 0;
+    MemSysStats mem{};
+    HeapStats heap{};
+    std::size_t exceptionsDelivered = 0;
+    std::size_t exceptionsSuppressed = 0;
+};
+
+/** Run @p bench under @p config on a fresh machine. */
+RunResult runBenchmark(const SpecBenchmark &bench,
+                       const RunConfig &config);
+
+/** Slowdown of @p result relative to @p baseline (0.03 = 3% slower). */
+double slowdownVs(const RunResult &baseline, const RunResult &result);
+
+} // namespace califorms
+
+#endif // CALIFORMS_WORKLOAD_RUNNER_HH

@@ -1,0 +1,157 @@
+/**
+ * @file test_attacks.cc
+ * Tests for the Section 7.3 attack simulations: scan detection,
+ * probe survival statistics, and the BROP respawn asymmetry (fixed
+ * layout loses, re-randomized layout wins).
+ */
+
+#include <gtest/gtest.h>
+
+#include "security/attacks.hh"
+
+namespace califorms
+{
+namespace
+{
+
+StructDefPtr
+victimStruct()
+{
+    return std::make_shared<StructDef>(
+        "victim",
+        std::vector<Field>{{"id", Type::intType()},
+                           {"buf", Type::array(Type::charType(), 24)},
+                           {"fp", Type::functionPointer()}});
+}
+
+TEST(LinearScan, DetectsWithinFirstObject)
+{
+    Machine machine;
+    HeapAllocator heap(machine);
+    LayoutTransformer t(InsertionPolicy::Full, PolicyParams{}, 3);
+    auto layout = std::make_shared<SecureLayout>(
+        t.transform(*victimStruct()));
+    const Addr obj = heap.allocate(layout);
+
+    AttackSimulator attacker(machine, 1);
+    const ScanResult r = attacker.linearScan(obj, layout->size);
+    EXPECT_TRUE(r.detected);
+    EXPECT_LT(r.bytesScanned, layout->size);
+}
+
+TEST(LinearScan, CleanRegionSurvives)
+{
+    Machine machine;
+    HeapAllocator heap(machine);
+    const Addr raw = heap.allocateRaw(256);
+    AttackSimulator attacker(machine, 2);
+    const ScanResult r = attacker.linearScan(raw, 256);
+    EXPECT_FALSE(r.detected);
+    EXPECT_EQ(r.bytesScanned, 256u);
+}
+
+TEST(RandomProbes, SurvivalTracksClosedForm)
+{
+    Machine machine;
+    HeapAllocator heap(machine);
+    LayoutTransformer t(InsertionPolicy::Full, PolicyParams{1, 3, 1}, 7);
+    auto layout = std::make_shared<SecureLayout>(
+        t.transform(*victimStruct()));
+    std::vector<Addr> objs;
+    for (int i = 0; i < 64; ++i)
+        objs.push_back(heap.allocate(layout));
+    const double density =
+        static_cast<double>(layout->securityByteCount()) /
+        static_cast<double>(layout->size);
+
+    // Expected probes until detection for a geometric distribution.
+    const double expected = 1.0 / density;
+    double total = 0;
+    const int trials = 300;
+    for (int trial = 0; trial < trials; ++trial) {
+        machine.exceptions().clearLogs();
+        AttackSimulator attacker(machine,
+                                 1000 + static_cast<unsigned>(trial));
+        const ProbeResult r = attacker.randomProbes(objs, layout->size,
+                                                    10000);
+        EXPECT_TRUE(r.detected);
+        total += static_cast<double>(r.probes);
+    }
+    const double mean_probes = total / trials;
+    EXPECT_NEAR(mean_probes, expected, expected * 0.35);
+}
+
+TEST(Brop, FixedLayoutFallsQuickly)
+{
+    // Restart-after-crash with the same memory layout (the BROP
+    // precondition): accumulated crash knowledge defeats the spans in
+    // at most "security bytes before the target" crashes.
+    Machine machine;
+    AttackSimulator attacker(machine, 11);
+    const auto def = victimStruct();
+    const BropResult r = attacker.bropAttack(
+        *def, InsertionPolicy::Full, PolicyParams{}, /*target=*/2,
+        /*max_crashes=*/200, /*rerandomize=*/false);
+    EXPECT_TRUE(r.succeeded);
+    EXPECT_LE(r.crashes, 64u);
+}
+
+TEST(Brop, RerandomizedRespawnHolds)
+{
+    // The paper's mitigation: respawn with a different padding layout.
+    // The attacker's crash knowledge is useless; the leading security
+    // span always fires before the target field is reached.
+    Machine machine;
+    AttackSimulator attacker(machine, 12);
+    const auto def = victimStruct();
+    const BropResult r = attacker.bropAttack(
+        *def, InsertionPolicy::Full, PolicyParams{}, /*target=*/2,
+        /*max_crashes=*/200, /*rerandomize=*/true);
+    EXPECT_FALSE(r.succeeded);
+    EXPECT_GT(r.crashes, 200u - 1);
+}
+
+TEST(Brop, RerandomizationCostAsymmetry)
+{
+    // Head-to-head: the fixed-layout attack consumes strictly fewer
+    // crashes than the re-randomized budget.
+    Machine m1, m2;
+    const auto def = victimStruct();
+    AttackSimulator fixed(m1, 21);
+    AttackSimulator moving(m2, 21);
+    const auto fixed_r = fixed.bropAttack(*def, InsertionPolicy::Full,
+                                          PolicyParams{}, 1, 500, false);
+    const auto moving_r = moving.bropAttack(
+        *def, InsertionPolicy::Full, PolicyParams{}, 1, 500, true);
+    ASSERT_TRUE(fixed_r.succeeded);
+    EXPECT_FALSE(moving_r.succeeded);
+    EXPECT_LT(fixed_r.crashes, 40u);
+}
+
+TEST(Brop, IntelligentPolicyStillStopsTargetedOverflow)
+{
+    // With the intelligent policy the buf/fp boundary is fenced; the
+    // attacker walking toward fp (field 2) crashes on the span.
+    Machine machine;
+    AttackSimulator attacker(machine, 31);
+    const auto def = victimStruct();
+    const BropResult r = attacker.bropAttack(
+        *def, InsertionPolicy::Intelligent, PolicyParams{}, 2, 100,
+        true);
+    EXPECT_FALSE(r.succeeded);
+}
+
+TEST(Brop, UnprotectedVictimFallsImmediately)
+{
+    // Sanity: without any security bytes the attack needs no crashes.
+    Machine machine;
+    AttackSimulator attacker(machine, 41);
+    const auto def = victimStruct();
+    const BropResult r = attacker.bropAttack(
+        *def, InsertionPolicy::None, PolicyParams{}, 2, 10, true);
+    EXPECT_TRUE(r.succeeded);
+    EXPECT_EQ(r.crashes, 0u);
+}
+
+} // namespace
+} // namespace califorms

@@ -1,0 +1,180 @@
+/**
+ * @file test_cform.cc
+ * Exhaustive tests of the CFORM instruction semantics against the
+ * Table 1 K-map, plus atomicity and the canonical zeroing contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cform.hh"
+
+namespace califorms
+{
+namespace
+{
+
+TEST(CformKmap, MaskedBytesNeverChange)
+{
+    // Column "X, Don't care": regardless of R2, a masked-off byte keeps
+    // its state.
+    for (bool initially_security : {false, true}) {
+        for (bool set_bit : {false, true}) {
+            BitVectorLine line;
+            line.data[5] = 0;
+            if (initially_security)
+                line.mask = 1ull << 5;
+            CformOp op;
+            op.lineAddr = 0;
+            op.setBits = set_bit ? (1ull << 5) : 0;
+            op.mask = 0; // disallow everything
+            EXPECT_EQ(applyCform(line, op), std::nullopt);
+            EXPECT_EQ(line.isSecurityByte(5), initially_security);
+        }
+    }
+}
+
+TEST(CformKmap, SetOnRegularMakesSecurity)
+{
+    BitVectorLine line;
+    line.data[9] = 0xAB;
+    CformOp op = makeSetOp(0, 1ull << 9);
+    EXPECT_EQ(applyCform(line, op), std::nullopt);
+    EXPECT_TRUE(line.isSecurityByte(9));
+    // Hardware zeroes the byte: loads of security bytes return zero.
+    EXPECT_EQ(line.data[9], 0);
+}
+
+TEST(CformKmap, UnsetOnSecurityMakesRegular)
+{
+    BitVectorLine line;
+    line.mask = 1ull << 3;
+    CformOp op = makeUnsetOp(0, 1ull << 3);
+    EXPECT_EQ(applyCform(line, op), std::nullopt);
+    EXPECT_FALSE(line.isSecurityByte(3));
+    EXPECT_EQ(line.data[3], 0);
+}
+
+TEST(CformKmap, SetOnSecurityRaisesException)
+{
+    BitVectorLine line;
+    line.mask = 1ull << 7;
+    CformOp op = makeSetOp(0x1000, 1ull << 7);
+    const auto fault = applyCform(line, op);
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_EQ(fault->reason, FaultReason::CformSetOnSecurity);
+    EXPECT_EQ(fault->faultAddr, 0x1000u + 7);
+    EXPECT_EQ(fault->kind, AccessKind::Cform);
+}
+
+TEST(CformKmap, UnsetOnRegularRaisesException)
+{
+    BitVectorLine line;
+    CformOp op = makeUnsetOp(0x2000, 1ull << 12);
+    const auto fault = applyCform(line, op);
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_EQ(fault->reason, FaultReason::CformUnsetRegular);
+    EXPECT_EQ(fault->faultAddr, 0x2000u + 12);
+}
+
+TEST(CformKmap, ExhaustivePerByteTruthTable)
+{
+    // All 8 combinations of (initial state, set bit, mask bit) on every
+    // byte position.
+    for (unsigned pos = 0; pos < lineBytes; ++pos) {
+        for (int initial = 0; initial < 2; ++initial) {
+            for (int set = 0; set < 2; ++set) {
+                for (int allow = 0; allow < 2; ++allow) {
+                    BitVectorLine line;
+                    if (initial)
+                        line.mask = 1ull << pos;
+                    CformOp op;
+                    op.setBits = set ? (1ull << pos) : 0;
+                    op.mask = allow ? (1ull << pos) : 0;
+                    const auto fault = applyCform(line, op);
+
+                    const bool expect_fault =
+                        allow && ((set && initial) || (!set && !initial));
+                    EXPECT_EQ(fault.has_value(), expect_fault)
+                        << "pos=" << pos << " init=" << initial
+                        << " set=" << set << " allow=" << allow;
+                    const bool expect_security =
+                        expect_fault ? initial : (allow ? set : initial);
+                    EXPECT_EQ(line.isSecurityByte(pos),
+                              expect_security != 0);
+                }
+            }
+        }
+    }
+}
+
+TEST(Cform, AtomicOnFault)
+{
+    // Byte 0 transition is legal, byte 1 faults: the line must be left
+    // completely unmodified.
+    BitVectorLine line;
+    line.mask = 1ull << 1;
+    line.data[0] = 0x42;
+    CformOp op;
+    op.setBits = (1ull << 0) | (1ull << 1); // set both
+    op.mask = (1ull << 0) | (1ull << 1);
+    const auto fault = applyCform(line, op);
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_FALSE(line.isSecurityByte(0));
+    EXPECT_EQ(line.data[0], 0x42);
+    EXPECT_TRUE(line.isSecurityByte(1));
+}
+
+TEST(Cform, ReportsLowestFaultingAddress)
+{
+    BitVectorLine line;
+    line.mask = (1ull << 20) | (1ull << 40);
+    CformOp op = makeSetOp(0, (1ull << 20) | (1ull << 40));
+    const auto fault = checkCform(line, op);
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_EQ(fault->faultAddr, 20u);
+}
+
+TEST(Cform, MixedSetAndUnsetInOneInstruction)
+{
+    // Partial update: set byte 2, unset byte 6, leave the rest alone.
+    BitVectorLine line;
+    line.mask = 1ull << 6;
+    CformOp op;
+    op.setBits = 1ull << 2;
+    op.mask = (1ull << 2) | (1ull << 6);
+    EXPECT_EQ(applyCform(line, op), std::nullopt);
+    EXPECT_TRUE(line.isSecurityByte(2));
+    EXPECT_FALSE(line.isSecurityByte(6));
+}
+
+TEST(Cform, FullLineBlacklist)
+{
+    BitVectorLine line;
+    for (unsigned i = 0; i < lineBytes; ++i)
+        line.data[i] = static_cast<std::uint8_t>(i + 1);
+    CformOp op = makeSetOp(0, ~0ull);
+    EXPECT_EQ(applyCform(line, op), std::nullopt);
+    EXPECT_EQ(line.mask, ~0ull);
+    EXPECT_TRUE(line.canonical());
+}
+
+TEST(Cform, RejectsUnalignedAddress)
+{
+    BitVectorLine line;
+    CformOp op = makeSetOp(7, 1);
+    EXPECT_THROW(applyCform(line, op), std::invalid_argument);
+}
+
+TEST(CformHelpers, MakeOpsTargetExactMask)
+{
+    const SecurityMask m = 0x00f0000000000001ull;
+    const CformOp set = makeSetOp(0x40, m);
+    EXPECT_EQ(set.setBits, m);
+    EXPECT_EQ(set.mask, m);
+    const CformOp unset = makeUnsetOp(0x40, m);
+    EXPECT_EQ(unset.setBits, 0u);
+    EXPECT_EQ(unset.mask, m);
+}
+
+} // namespace
+} // namespace califorms

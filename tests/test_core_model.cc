@@ -1,0 +1,139 @@
+/**
+ * @file test_core_model.cc
+ * Tests for the analytical OoO core model: width scaling, dependent
+ * load serialization, MLP overlap of independent misses, store buffer
+ * absorption, and monotonicity in memory latency (the property the
+ * Figure 10 experiment rests on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.hh"
+
+namespace califorms
+{
+namespace
+{
+
+CoreParams
+defaultCore()
+{
+    return CoreParams{};
+}
+
+TEST(CoreModel, ComputeThroughputMatchesWidth)
+{
+    CoreModel core(defaultCore(), 4);
+    for (int i = 0; i < 400; ++i)
+        core.retireCompute(3); // 4 uops each
+    // 1600 uops at width 4 = 400 cycles.
+    EXPECT_EQ(core.cycles(), 400u);
+    EXPECT_EQ(core.instructions(), 1600u);
+}
+
+TEST(CoreModel, DependentLoadPaysFullLatency)
+{
+    CoreModel core(defaultCore(), 4);
+    core.retireLoad(120, true);
+    EXPECT_EQ(core.cycles(), 120u);
+}
+
+TEST(CoreModel, IndependentMissAmortizedByMlp)
+{
+    CoreParams p;
+    p.issueWidth = 4;
+    p.mlp = 6;
+    CoreModel core(p, 4);
+    core.retireLoad(124, false); // penalty 120, amortized /6 = 20
+    EXPECT_EQ(core.cycles(), static_cast<Cycles>(0.25 + 20.0));
+}
+
+TEST(CoreModel, L1HitLoadsAreCheap)
+{
+    CoreModel core(defaultCore(), 4);
+    for (int i = 0; i < 100; ++i)
+        core.retireLoad(4, false); // L1 hits: no penalty
+    EXPECT_EQ(core.cycles(), 25u); // 100 / width
+}
+
+TEST(CoreModel, StoreMissesMostlyAbsorbed)
+{
+    CoreParams p;
+    CoreModel store_core(p, 4);
+    CoreModel load_core(p, 4);
+    store_core.retireStore(124);
+    load_core.retireLoad(124, false);
+    EXPECT_LT(store_core.cycles(), load_core.cycles());
+}
+
+TEST(CoreModel, CformCostsLikeStore)
+{
+    CoreModel a(defaultCore(), 4);
+    CoreModel b(defaultCore(), 4);
+    a.retireStore(11);
+    b.retireCform(11);
+    EXPECT_EQ(a.cycles(), b.cycles());
+}
+
+TEST(CoreModel, MonotonicInLatency)
+{
+    // More cycles of memory latency can never make the program faster —
+    // the property behind the +1 cycle L2/L3 experiment.
+    for (bool dependent : {false, true}) {
+        Cycles prev = 0;
+        for (Cycles lat = 4; lat < 200; lat += 7) {
+            CoreModel core(defaultCore(), 4);
+            for (int i = 0; i < 50; ++i) {
+                core.retireLoad(lat, dependent);
+                core.retireCompute(5);
+            }
+            EXPECT_GE(core.cycles(), prev) << "lat=" << lat;
+            prev = core.cycles();
+        }
+    }
+}
+
+TEST(CoreModel, SmallLatencyDeltaSmallSlowdown)
+{
+    // +1 cycle on a miss that already costs 11 cycles produces a
+    // sub-percent slowdown for a mixed instruction stream — the Figure
+    // 10 regime.
+    auto run = [](Cycles miss_lat) {
+        CoreModel core(defaultCore(), 4);
+        for (int i = 0; i < 10000; ++i) {
+            core.retireCompute(6);
+            core.retireLoad(i % 10 == 0 ? miss_lat : 4, false);
+        }
+        return core.cycles();
+    };
+    const double slowdown =
+        static_cast<double>(run(12)) / static_cast<double>(run(11)) - 1.0;
+    EXPECT_GT(slowdown, 0.0);
+    EXPECT_LT(slowdown, 0.01);
+}
+
+TEST(CoreModel, ResetClearsState)
+{
+    CoreModel core(defaultCore(), 4);
+    core.retireCompute(100);
+    core.reset();
+    EXPECT_EQ(core.cycles(), 0u);
+    EXPECT_EQ(core.instructions(), 0u);
+}
+
+TEST(CoreModel, WiderCoreIsFaster)
+{
+    CoreParams narrow;
+    narrow.issueWidth = 1;
+    CoreParams wide;
+    wide.issueWidth = 8;
+    CoreModel a(narrow, 4), b(wide, 4);
+    for (int i = 0; i < 1000; ++i) {
+        a.retireCompute(2);
+        b.retireCompute(2);
+    }
+    EXPECT_GT(a.cycles(), b.cycles());
+}
+
+} // namespace
+} // namespace califorms

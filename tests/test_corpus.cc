@@ -1,0 +1,102 @@
+/**
+ * @file test_corpus.cc
+ * Tests for the synthetic struct corpora: the realized padded fraction
+ * must match the paper's Figure 3 statistics (45.7% SPEC, 41.0% V8) and
+ * the generator must be deterministic and well formed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/corpus.hh"
+#include "layout/density.hh"
+
+namespace califorms
+{
+namespace
+{
+
+TEST(Corpus, SpecPaddedFractionMatchesFigure3)
+{
+    const auto corpus = generateCorpus(specCorpusParams(), 42);
+    const DensityReport report = analyzeDensity(corpus);
+    EXPECT_EQ(report.structCount, 2000u);
+    // The generator hits the target exactly by construction.
+    EXPECT_NEAR(report.paddedFraction(), 0.457, 0.001);
+}
+
+TEST(Corpus, V8PaddedFractionMatchesFigure3)
+{
+    const auto corpus = generateCorpus(v8CorpusParams(), 42);
+    const DensityReport report = analyzeDensity(corpus);
+    EXPECT_NEAR(report.paddedFraction(), 0.410, 0.001);
+}
+
+TEST(Corpus, DeterministicInSeed)
+{
+    const auto a = generateCorpus(specCorpusParams(), 7);
+    const auto b = generateCorpus(specCorpusParams(), 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i]->name(), b[i]->name());
+        EXPECT_EQ(a[i]->size(), b[i]->size());
+        EXPECT_EQ(a[i]->layout().paddingBytes(),
+                  b[i]->layout().paddingBytes());
+    }
+}
+
+TEST(Corpus, DifferentSeedsDiffer)
+{
+    const auto a = generateCorpus(specCorpusParams(), 1);
+    const auto b = generateCorpus(specCorpusParams(), 2);
+    bool differs = false;
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i]->size() != b[i]->size();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Corpus, AllStructsWellFormed)
+{
+    const auto corpus = generateCorpus(specCorpusParams(), 3);
+    for (const auto &def : corpus) {
+        ASSERT_TRUE(def);
+        EXPECT_FALSE(def->fields().empty());
+        EXPECT_GT(def->size(), 0u);
+        EXPECT_GE(def->align(), 1u);
+        EXPECT_EQ(def->size() % def->align(), 0u);
+        EXPECT_GT(def->layout().density(), 0.0);
+        EXPECT_LE(def->layout().density(), 1.0);
+    }
+}
+
+TEST(Corpus, HistogramPeaksAtDensityOne)
+{
+    // Figure 3: the tallest bar is the rightmost (density 0.9-1.0) bin.
+    const auto corpus = generateCorpus(specCorpusParams(), 4);
+    const DensityReport report = analyzeDensity(corpus);
+    const std::size_t last = report.histogram.bins() - 1;
+    for (std::size_t i = 0; i < last; ++i)
+        EXPECT_LE(report.histogram.binCount(i),
+                  report.histogram.binCount(last));
+}
+
+TEST(Corpus, V8IsMorePointerHeavy)
+{
+    // More pointer fields means more 8B-aligned fields: sanity check
+    // the preset knobs themselves.
+    EXPECT_GT(v8CorpusParams().pointerWeight,
+              specCorpusParams().pointerWeight);
+}
+
+TEST(Corpus, CustomParamsRespected)
+{
+    CorpusParams params;
+    params.structCount = 100;
+    params.packedFraction = 0.5;
+    const auto corpus = generateCorpus(params, 9);
+    EXPECT_EQ(corpus.size(), 100u);
+    const DensityReport report = analyzeDensity(corpus);
+    EXPECT_NEAR(report.paddedFraction(), 0.5, 0.005);
+}
+
+} // namespace
+} // namespace califorms

@@ -1,0 +1,150 @@
+/**
+ * @file test_l1_variants.cc
+ * Round-trip and format tests for the Appendix A L1 variants
+ * (califorms-4B of Figure 14 and califorms-1B of Figure 15).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/l1_variants.hh"
+#include "util/rng.hh"
+
+namespace califorms
+{
+namespace
+{
+
+BitVectorLine
+randomLine(Rng &rng, unsigned security_bytes)
+{
+    BitVectorLine line;
+    for (auto &b : line.data.bytes)
+        b = static_cast<std::uint8_t>(rng.next() & 0xff);
+    unsigned placed = 0;
+    while (placed < security_bytes) {
+        const unsigned i = static_cast<unsigned>(rng.nextBelow(lineBytes));
+        if (!line.isSecurityByte(i)) {
+            line.mask |= 1ull << i;
+            ++placed;
+        }
+    }
+    line.canonicalize();
+    return line;
+}
+
+class VariantRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(VariantRoundTrip, Cal4B)
+{
+    Rng rng(100 + GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        const BitVectorLine line = randomLine(rng, GetParam());
+        const BitVectorLine back = decodeCal4B(encodeCal4B(line));
+        EXPECT_EQ(back.mask, line.mask);
+        EXPECT_EQ(back.data, line.data);
+    }
+}
+
+TEST_P(VariantRoundTrip, Cal1B)
+{
+    Rng rng(200 + GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        const BitVectorLine line = randomLine(rng, GetParam());
+        const BitVectorLine back = decodeCal1B(encodeCal1B(line));
+        EXPECT_EQ(back.mask, line.mask);
+        EXPECT_EQ(back.data, line.data);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SecurityByteCounts, VariantRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 8, 16, 32, 63,
+                                           64));
+
+TEST(Cal4B, CleanLineHasZeroMeta)
+{
+    Rng rng(1);
+    const BitVectorLine line = randomLine(rng, 0);
+    const Cal4BLine enc = encodeCal4B(line);
+    for (unsigned c = 0; c < chunksPerLine; ++c)
+        EXPECT_EQ(enc.meta[c], 0);
+    EXPECT_EQ(enc.data, line.data);
+}
+
+TEST(Cal4B, MetaPointsAtSecurityByteHolder)
+{
+    // One security byte at byte 13 (chunk 1, offset 5): the chunk meta
+    // must flag chunk 1 and point at offset 5, and the holder stores
+    // the chunk's bit vector.
+    BitVectorLine line;
+    line.mask = 1ull << 13;
+    line.canonicalize();
+    const Cal4BLine enc = encodeCal4B(line);
+    EXPECT_EQ(enc.meta[1], 0x8 | 5);
+    EXPECT_EQ(enc.data[13], 1u << 5);
+    EXPECT_EQ(enc.meta[0], 0);
+}
+
+TEST(Cal1B, HeaderByteHoldsBitVector)
+{
+    // Security byte at byte 3 of chunk 0: header byte 0 is normal, so
+    // its value relocates into the last security byte (byte 3).
+    BitVectorLine line;
+    line.data[0] = 0x77;
+    line.mask = 1ull << 3;
+    line.canonicalize();
+    const Cal1BLine enc = encodeCal1B(line);
+    EXPECT_EQ(enc.meta, 1u);
+    EXPECT_EQ(enc.data[0], 1u << 3); // bit vector in header
+    EXPECT_EQ(enc.data[3], 0x77);    // relocated header value
+    const BitVectorLine back = decodeCal1B(enc);
+    EXPECT_EQ(back.data[0], 0x77);
+    EXPECT_EQ(back.data[3], 0);
+}
+
+TEST(Cal1B, HeaderByteItselfSecurity)
+{
+    // When byte 0 of the chunk is a security byte no relocation is
+    // needed (its data slot is dead).
+    BitVectorLine line;
+    line.data[1] = 0x55;
+    line.mask = 1ull << 8; // chunk 1, byte 0
+    line.canonicalize();
+    const Cal1BLine enc = encodeCal1B(line);
+    EXPECT_EQ(enc.meta, 2u);
+    EXPECT_EQ(enc.data[8], 1u << 0);
+    const BitVectorLine back = decodeCal1B(enc);
+    EXPECT_EQ(back.mask, line.mask);
+    EXPECT_EQ(back.data, line.data);
+}
+
+TEST(Variants, ChunkIndependence)
+{
+    // Califorming chunk 3 must not disturb the other chunks' data.
+    Rng rng(9);
+    BitVectorLine line = randomLine(rng, 0);
+    line.mask = 0xffull << 24; // whole chunk 3 blacklisted
+    line.canonicalize();
+    const Cal1BLine enc1 = encodeCal1B(line);
+    const Cal4BLine enc4 = encodeCal4B(line);
+    for (unsigned i = 0; i < lineBytes; ++i) {
+        if (i / chunkBytes == 3)
+            continue;
+        EXPECT_EQ(enc1.data[i], line.data[i]);
+        EXPECT_EQ(enc4.data[i], line.data[i]);
+    }
+}
+
+TEST(Variants, AllChunksFullyBlacklisted)
+{
+    BitVectorLine line;
+    line.mask = ~0ull;
+    const BitVectorLine b1 = decodeCal1B(encodeCal1B(line));
+    const BitVectorLine b4 = decodeCal4B(encodeCal4B(line));
+    EXPECT_EQ(b1.mask, ~0ull);
+    EXPECT_EQ(b4.mask, ~0ull);
+}
+
+} // namespace
+} // namespace califorms

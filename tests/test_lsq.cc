@@ -1,0 +1,178 @@
+/**
+ * @file test_lsq.cc
+ * Load/store queue semantics (Section 5.3): normal store-to-load
+ * forwarding, the CFORM no-forwarding rule (zeros + exception mark),
+ * younger-store marking, partial overlaps and commit draining.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/lsq.hh"
+
+namespace califorms
+{
+namespace
+{
+
+/** Byte-addressable backing memory for the reader callback. */
+struct FakeMem
+{
+    std::map<Addr, std::uint8_t> bytes;
+
+    LoadStoreQueue::ByteReader
+    reader()
+    {
+        return [this](Addr a) {
+            auto it = bytes.find(a);
+            return it == bytes.end() ? std::uint8_t(0) : it->second;
+        };
+    }
+};
+
+TEST(Lsq, LoadFromMemoryWhenQueueEmpty)
+{
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    mem.bytes[0x100] = 0xab;
+    const auto res = lsq.load(0x100, 1, mem.reader());
+    EXPECT_EQ(res.value, 0xabu);
+    EXPECT_FALSE(res.forwarded);
+    EXPECT_FALSE(res.cformConflict);
+}
+
+TEST(Lsq, FullForwardFromYoungestMatchingStore)
+{
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    lsq.pushStore(0x100, 8, 0x1111111111111111ull);
+    lsq.pushStore(0x100, 8, 0x2222222222222222ull);
+    const auto res = lsq.load(0x100, 8, mem.reader());
+    EXPECT_TRUE(res.forwarded);
+    EXPECT_EQ(res.value, 0x2222222222222222ull);
+}
+
+TEST(Lsq, PartialOverlapComposesStoresAndMemory)
+{
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    mem.bytes[0x103] = 0x99;
+    lsq.pushStore(0x100, 2, 0xbbaa); // bytes 0x100, 0x101
+    lsq.pushStore(0x102, 1, 0xcc);   // byte 0x102
+    const auto res = lsq.load(0x100, 4, mem.reader());
+    EXPECT_TRUE(res.forwarded);
+    EXPECT_EQ(res.value, 0x99ccbbaau);
+}
+
+TEST(Lsq, CformNeverForwardsValueReturnsZero)
+{
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    mem.bytes[0x140] = 0x77;
+    CformOp op = makeSetOp(0x100, 1ull << 0x40 % 64);
+    op = makeSetOp(0x100, 0xffull); // bytes 0x100..0x107
+    lsq.pushCform(op);
+    const auto res = lsq.load(0x100, 4, mem.reader());
+    EXPECT_TRUE(res.cformConflict);
+    EXPECT_EQ(res.value, 0u); // zeros, not memory or CFORM "data"
+}
+
+TEST(Lsq, CformConflictOnlyOnMaskOverlap)
+{
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    mem.bytes[0x108] = 0x42;
+    lsq.pushCform(makeSetOp(0x100, 0xffull)); // bytes 0x100..0x107 only
+    const auto res = lsq.load(0x108, 1, mem.reader());
+    EXPECT_FALSE(res.cformConflict);
+    EXPECT_EQ(res.value, 0x42u);
+}
+
+TEST(Lsq, YoungerStoreMarkedOnCformOverlap)
+{
+    LoadStoreQueue lsq;
+    lsq.pushCform(makeSetOp(0x100, 0x0f00ull)); // bytes 0x108..0x10b
+    const auto hit = lsq.pushStore(0x10a, 2, 0xffff);
+    EXPECT_TRUE(hit.cformConflict);
+    const auto miss = lsq.pushStore(0x10c, 2, 0xffff);
+    EXPECT_FALSE(miss.cformConflict);
+}
+
+TEST(Lsq, StoreYoungerThanCformShadowsIt)
+{
+    // Program order: CFORM, then store, then load. The load must see
+    // the younger store's data (youngest-first search).
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    lsq.pushCform(makeSetOp(0x100, 0xffull));
+    lsq.pushStore(0x100, 4, 0xdeadbeef);
+    const auto res = lsq.load(0x100, 4, mem.reader());
+    EXPECT_EQ(res.value, 0xdeadbeefull);
+    EXPECT_TRUE(res.forwarded);
+    EXPECT_FALSE(res.cformConflict);
+}
+
+TEST(Lsq, CformYoungerThanStoreWins)
+{
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    lsq.pushStore(0x100, 4, 0xdeadbeef);
+    lsq.pushCform(makeSetOp(0x100, 0xffull));
+    const auto res = lsq.load(0x100, 4, mem.reader());
+    EXPECT_EQ(res.value, 0u);
+    EXPECT_TRUE(res.cformConflict);
+}
+
+TEST(Lsq, LineCrossingLoadChecksBothLines)
+{
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    lsq.pushCform(makeSetOp(0x140, 0x1ull)); // first byte of next line
+    // Load 0x13c..0x143 crosses into the califormed line.
+    const auto res = lsq.load(0x13c, 8, mem.reader());
+    EXPECT_TRUE(res.cformConflict);
+}
+
+TEST(Lsq, DrainOldestCommitsInOrder)
+{
+    LoadStoreQueue lsq;
+    std::vector<std::string> order;
+    lsq.pushStore(0x100, 4, 1);
+    lsq.pushCform(makeSetOp(0x200, 1));
+    lsq.pushStore(0x300, 4, 3);
+    while (lsq.drainOldest(
+        [&](Addr a, unsigned, std::uint64_t) {
+            order.push_back("store@" + std::to_string(a));
+        },
+        [&](const CformOp &op) {
+            order.push_back("cform@" + std::to_string(op.lineAddr));
+        })) {
+    }
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "store@256");
+    EXPECT_EQ(order[1], "cform@512");
+    EXPECT_EQ(order[2], "store@768");
+    EXPECT_EQ(lsq.size(), 0u);
+}
+
+TEST(Lsq, CapacityEnforced)
+{
+    LoadStoreQueue lsq(2);
+    lsq.pushStore(0, 1, 0);
+    lsq.pushStore(8, 1, 0);
+    EXPECT_TRUE(lsq.full());
+    EXPECT_THROW(lsq.pushStore(16, 1, 0), std::logic_error);
+    EXPECT_THROW(lsq.pushCform(makeSetOp(0, 1)), std::logic_error);
+}
+
+TEST(Lsq, RejectsBadLoadSize)
+{
+    LoadStoreQueue lsq;
+    FakeMem mem;
+    EXPECT_THROW(lsq.load(0, 0, mem.reader()), std::invalid_argument);
+    EXPECT_THROW(lsq.load(0, 9, mem.reader()), std::invalid_argument);
+}
+
+} // namespace
+} // namespace califorms

@@ -1,0 +1,157 @@
+/**
+ * @file test_memsys_variants.cc
+ * The Appendix A L1 formats and the next-line prefetcher inside the
+ * full hierarchy: functional equivalence across formats (differential
+ * against the default), Table 7 latency behaviour, and prefetch
+ * semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memsys.hh"
+#include "util/rng.hh"
+
+namespace califorms
+{
+namespace
+{
+
+MemSysParams
+tinyParams(L1Format format)
+{
+    MemSysParams p;
+    p.l1Size = 1024;
+    p.l1Ways = 2;
+    p.l2Size = 4096;
+    p.l2Ways = 2;
+    p.l3Size = 16384;
+    p.l3Ways = 4;
+    p.l1Format = format;
+    return p;
+}
+
+class L1FormatEquivalence : public ::testing::TestWithParam<L1Format>
+{
+};
+
+TEST_P(L1FormatEquivalence, SameArchitecturalBehaviourAsDefault)
+{
+    ExceptionUnit ex_a, ex_b;
+    MemorySystem reference(tinyParams(L1Format::BitVector8B), ex_a);
+    MemorySystem variant(tinyParams(GetParam()), ex_b);
+    Rng rng(7);
+
+    for (int step = 0; step < 3000; ++step) {
+        const Addr la = 0x8000 + lineBytes * rng.nextBelow(64);
+        switch (rng.nextBelow(10)) {
+          case 0: {
+            const SecurityMask m = rng.next() & 0x0f0f0f0f0f0f0f0full;
+            // Toggle-safe: unset whatever is set, set what is not.
+            const SecurityMask cur = reference.securityMask(la);
+            CformOp op;
+            op.lineAddr = la;
+            op.setBits = m & ~cur;
+            op.mask = m;
+            reference.cform(op);
+            variant.cform(op);
+            break;
+          }
+          default: {
+            const unsigned size = 1u << rng.nextBelow(4);
+            const Addr addr =
+                la + rng.nextBelow(lineBytes - size + 1);
+            if (rng.chance(0.5)) {
+                const std::uint64_t v = rng.next();
+                reference.store(addr, size, v);
+                variant.store(addr, size, v);
+            } else {
+                const auto a = reference.load(addr, size);
+                const auto b = variant.load(addr, size);
+                EXPECT_EQ(a.value, b.value) << std::hex << addr;
+                EXPECT_EQ(a.faulted, b.faulted) << std::hex << addr;
+            }
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(ex_a.deliveredCount(), ex_b.deliveredCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, L1FormatEquivalence,
+                         ::testing::Values(L1Format::Cal4B,
+                                           L1Format::Cal1B),
+                         [](const auto &info) {
+                             return info.param == L1Format::Cal4B
+                                        ? "Cal4B"
+                                        : "Cal1B";
+                         });
+
+TEST(L1FormatLatency, Table7ExtraCycles)
+{
+    EXPECT_EQ(l1FormatExtraLatency(L1Format::BitVector8B), 0u);
+    EXPECT_EQ(l1FormatExtraLatency(L1Format::Cal1B), 1u);
+    EXPECT_EQ(l1FormatExtraLatency(L1Format::Cal4B), 2u);
+
+    for (L1Format f :
+         {L1Format::BitVector8B, L1Format::Cal1B, L1Format::Cal4B}) {
+        ExceptionUnit ex;
+        MemSysParams p; // full size
+        p.l1Format = f;
+        MemorySystem mem(p, ex);
+        mem.load(0x1000, 8); // install
+        const auto hit = mem.load(0x1000, 8);
+        EXPECT_EQ(hit.latency, p.l1Latency + l1FormatExtraLatency(f));
+    }
+}
+
+TEST(Prefetcher, NextLineLandsInL2)
+{
+    ExceptionUnit ex;
+    MemSysParams p = tinyParams(L1Format::BitVector8B);
+    p.nextLinePrefetch = true;
+    MemorySystem mem(p, ex);
+
+    // Put data in the "next" line, flush it to DRAM.
+    mem.store(0x9040, 8, 0x77);
+    mem.flushAll();
+
+    // Miss on 0x9000 prefetches 0x9040 into the L2: the subsequent
+    // demand access costs only an L2 hit.
+    mem.load(0x9000, 8);
+    const auto res = mem.load(0x9040, 8);
+    EXPECT_EQ(res.latency, p.l1Latency + p.l2Latency);
+    EXPECT_EQ(res.value, 0x77u);
+}
+
+TEST(Prefetcher, PreservesCaliformedMetadata)
+{
+    ExceptionUnit ex;
+    MemSysParams p = tinyParams(L1Format::BitVector8B);
+    p.nextLinePrefetch = true;
+    MemorySystem mem(p, ex);
+
+    mem.cform(makeSetOp(0xa040, 0xffull));
+    mem.flushAll();
+    mem.load(0xa000, 8); // prefetches the califormed 0xa040
+    EXPECT_EQ(mem.securityMask(0xa040), 0xffull);
+    const auto res = mem.load(0xa040, 8);
+    EXPECT_TRUE(res.faulted);
+}
+
+TEST(Prefetcher, StreamingMissesDrop)
+{
+    auto misses = [](bool prefetch) {
+        ExceptionUnit ex;
+        MemSysParams p; // full-size hierarchy
+        p.nextLinePrefetch = prefetch;
+        MemorySystem mem(p, ex);
+        for (Addr a = 0x100000; a < 0x100000 + 512 * 1024; a += 8)
+            mem.load(a, 8);
+        return mem.stats().l2.misses;
+    };
+    // With next-line prefetch, half the demand L2 misses disappear.
+    EXPECT_LT(misses(true), misses(false) / 2 + 64);
+}
+
+} // namespace
+} // namespace califorms

@@ -1,0 +1,150 @@
+/**
+ * @file test_trace.cc
+ * Trace replay and serialization tests: round-trip through the text
+ * format, replay determinism, equivalence between trace replay and
+ * direct Machine calls, and the stats dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats_dump.hh"
+#include "sim/trace.hh"
+#include "util/rng.hh"
+
+namespace califorms
+{
+namespace
+{
+
+Trace
+randomTrace(Rng &rng, std::size_t n)
+{
+    Trace trace;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr addr = 0x10000 + 8 * rng.nextBelow(4096);
+        switch (rng.nextBelow(4)) {
+          case 0:
+            trace.push_back(TraceOp::load(addr, 8, rng.chance(0.3)));
+            break;
+          case 1:
+            trace.push_back(TraceOp::store(addr, 8, rng.next()));
+            break;
+          case 2: {
+            // Set-then-unset pairs keep the CFORM K-map happy.
+            const SecurityMask m = rng.next() & 0xff;
+            if (m) {
+                trace.push_back(
+                    TraceOp::cformOp(makeSetOp(lineBase(addr), m)));
+                trace.push_back(
+                    TraceOp::cformOp(makeUnsetOp(lineBase(addr), m)));
+            }
+            break;
+          }
+          default:
+            trace.push_back(TraceOp::compute(
+                static_cast<std::uint32_t>(rng.nextBelow(16))));
+        }
+    }
+    return trace;
+}
+
+TEST(TraceText, RoundTrip)
+{
+    Rng rng(5);
+    const Trace trace = randomTrace(rng, 200);
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    const Trace back = readTrace(ss);
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(back[i].kind, trace[i].kind) << i;
+        EXPECT_EQ(back[i].addr, trace[i].addr) << i;
+        EXPECT_EQ(back[i].size, trace[i].size) << i;
+        EXPECT_EQ(back[i].value, trace[i].value) << i;
+        EXPECT_EQ(back[i].dependsOnPrev, trace[i].dependsOnPrev) << i;
+        EXPECT_EQ(back[i].computeOps, trace[i].computeOps) << i;
+        EXPECT_EQ(back[i].cform.lineAddr, trace[i].cform.lineAddr) << i;
+        EXPECT_EQ(back[i].cform.setBits, trace[i].cform.setBits) << i;
+        EXPECT_EQ(back[i].cform.mask, trace[i].cform.mask) << i;
+        EXPECT_EQ(back[i].cform.nonTemporal, trace[i].cform.nonTemporal)
+            << i;
+    }
+}
+
+TEST(TraceText, CommentsAndBlanksIgnored)
+{
+    std::stringstream ss("# header\n\nL 1000 8 dep\n# tail\nX 5\n");
+    const Trace trace = readTrace(ss);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].kind, TraceOp::Kind::Load);
+    EXPECT_TRUE(trace[0].dependsOnPrev);
+    EXPECT_EQ(trace[1].computeOps, 5u);
+}
+
+TEST(TraceText, BadInputReportsLine)
+{
+    std::stringstream ss("L 1000 8\nQ what\n");
+    try {
+        readTrace(ss);
+        FAIL() << "expected exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceReplay, Deterministic)
+{
+    Rng rng(9);
+    const Trace trace = randomTrace(rng, 500);
+    Machine a, b;
+    EXPECT_EQ(runTrace(a, trace), runTrace(b, trace));
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.memStats().l1.misses, b.memStats().l1.misses);
+}
+
+TEST(TraceReplay, MatchesDirectCalls)
+{
+    Machine direct;
+    direct.store(0x2000, 8, 77);
+    direct.cform(makeSetOp(0x2040, 0xf0));
+    direct.load(0x2000, 8);
+    direct.compute(3);
+
+    Trace trace = {
+        TraceOp::store(0x2000, 8, 77),
+        TraceOp::cformOp(makeSetOp(0x2040, 0xf0)),
+        TraceOp::load(0x2000, 8),
+        TraceOp::compute(3),
+    };
+    Machine replayed;
+    const std::uint64_t checksum = runTrace(replayed, trace);
+    EXPECT_EQ(checksum, 77u);
+    EXPECT_EQ(replayed.cycles(), direct.cycles());
+    EXPECT_EQ(replayed.securityMask(0x2040), 0xf0ull);
+}
+
+TEST(StatsDump, ContainsAllSections)
+{
+    Machine machine;
+    machine.store(0x3000, 8, 1);
+    machine.load(0x3000, 8);
+    const std::string dump = dumpStats(machine);
+    for (const char *key :
+         {"core.cycles", "core.ipc", "l1d.hits", "l2.missRate",
+          "l3.evictions", "dram.accesses", "califorms.spills",
+          "califorms.cformOps", "exceptions.delivered"}) {
+        EXPECT_NE(dump.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(StatsDump, IpcZeroOnFreshMachine)
+{
+    Machine machine;
+    EXPECT_NE(dumpStats(machine).find("core.ipc"), std::string::npos);
+}
+
+} // namespace
+} // namespace califorms

@@ -1,0 +1,185 @@
+/**
+ * @file test_vlsi.cc
+ * Gate-level model tests: composition algebra, primitive sanity, and
+ * the structural relations Tables 2 and 7 report (ordering of variant
+ * areas/delays, spill slower than fill, overhead magnitudes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vlsi/designs.hh"
+
+namespace califorms
+{
+namespace
+{
+
+TEST(CircuitAlgebra, SeriesAddsDelay)
+{
+    CircuitCost a{10, 1.0, 0.1};
+    CircuitCost b{20, 2.0, 0.2};
+    const CircuitCost c = a.then(b);
+    EXPECT_DOUBLE_EQ(c.areaGe, 30);
+    EXPECT_DOUBLE_EQ(c.delayNs, 3.0);
+    EXPECT_NEAR(c.powerMw, 0.3, 1e-12);
+}
+
+TEST(CircuitAlgebra, ParallelTakesMaxDelay)
+{
+    CircuitCost a{10, 1.0, 0.1};
+    CircuitCost b{20, 2.0, 0.2};
+    const CircuitCost c = a.alongside(b);
+    EXPECT_DOUBLE_EQ(c.areaGe, 30);
+    EXPECT_DOUBLE_EQ(c.delayNs, 2.0);
+}
+
+TEST(Primitives, DecoderGrowsWithWidth)
+{
+    CircuitBuilder b;
+    EXPECT_LT(b.decoder(3).areaGe, b.decoder(6).areaGe);
+}
+
+TEST(Primitives, SramScalesWithBits)
+{
+    CircuitBuilder b;
+    const auto small = b.sram(1024, false);
+    const auto large = b.sram(262144, false);
+    EXPECT_LT(small.areaGe, large.areaGe);
+    EXPECT_LT(small.delayNs, large.delayNs);
+    // Small arrays pay a density penalty per bit.
+    const auto dense = b.sram(4096, false);
+    const auto sparse = b.sram(4096, true);
+    EXPECT_LT(dense.areaGe, sparse.areaGe);
+}
+
+TEST(Primitives, MuxDepthLogarithmic)
+{
+    CircuitBuilder b;
+    EXPECT_LT(b.mux(8, 8).delayNs, b.mux(64, 8).delayNs);
+}
+
+TEST(Designs, BaselineDominatedBySram)
+{
+    CircuitBuilder b;
+    L1Geometry g;
+    const auto baseline = synthesizeL1(b, g, L1Variant::Baseline);
+    const auto sram_only =
+        b.sram(g.dataBits(), false).areaGe +
+        b.sram(g.tagArrayBits(), false).areaGe;
+    EXPECT_GT(sram_only / baseline.areaGe, 0.95); // "around 98%"
+}
+
+TEST(Designs, Table2Shape)
+{
+    // Califorms-8B adds noticeable area (the metadata array) but only
+    // marginal delay (parallel lookup): the paper reports +18.69% area
+    // and +1.85% delay.
+    CircuitBuilder b;
+    L1Geometry g;
+    const auto base = synthesizeL1(b, g, L1Variant::Baseline);
+    const auto cal8 = synthesizeL1(b, g, L1Variant::Califorms8B);
+    const double area_overhead = cal8.areaGe / base.areaGe - 1.0;
+    const double delay_overhead = cal8.delayNs / base.delayNs - 1.0;
+    EXPECT_GT(area_overhead, 0.10);
+    EXPECT_LT(area_overhead, 0.25);
+    EXPECT_GT(delay_overhead, 0.0);
+    EXPECT_LT(delay_overhead, 0.06);
+    // Power overhead small (paper: 2.12%).
+    EXPECT_LT(cal8.powerMw / base.powerMw - 1.0, 0.08);
+}
+
+TEST(Designs, Table7VariantOrdering)
+{
+    CircuitBuilder b;
+    L1Geometry g;
+    const auto base = synthesizeL1(b, g, L1Variant::Baseline);
+    const auto cal8 = synthesizeL1(b, g, L1Variant::Califorms8B);
+    const auto cal4 = synthesizeL1(b, g, L1Variant::Califorms4B);
+    const auto cal1 = synthesizeL1(b, g, L1Variant::Califorms1B);
+
+    // Area: 8B > 4B > 1B > baseline (metadata bits shrink).
+    EXPECT_GT(cal8.areaGe, cal4.areaGe);
+    EXPECT_GT(cal4.areaGe, cal1.areaGe);
+    EXPECT_GT(cal1.areaGe, base.areaGe);
+
+    // Hit delay: 4B > 1B > 8B (serial tails; the paper reports 49% and
+    // 22% extra hit delay vs 8B's 1.85%).
+    EXPECT_GT(cal4.delayNs, cal1.delayNs);
+    EXPECT_GT(cal1.delayNs, cal8.delayNs);
+    EXPECT_GE(cal8.delayNs, base.delayNs);
+
+    const double d4 = cal4.delayNs / base.delayNs - 1.0;
+    const double d1 = cal1.delayNs / base.delayNs - 1.0;
+    EXPECT_GT(d4, 0.25);
+    EXPECT_LT(d4, 0.75);
+    EXPECT_GT(d1, 0.10);
+    EXPECT_LT(d1, 0.40);
+}
+
+TEST(Designs, SpillSlowerAndBiggerThanFill)
+{
+    // The spill path (sentinel search + four successive find-index
+    // blocks) is the long pole: the paper reports 5.5ns vs 1.43ns.
+    CircuitBuilder b;
+    const auto fill = synthesizeFillModule(b);
+    const auto spill = synthesizeSpillModule(b);
+    EXPECT_GT(spill.delayNs, 2.5 * fill.delayNs);
+    EXPECT_GT(spill.areaGe, fill.areaGe);
+    EXPECT_GT(spill.powerMw, fill.powerMw);
+}
+
+TEST(Designs, FillFitsInL1AccessPeriod)
+{
+    // Section 8.1: the fill operation's latency is within the L1 access
+    // period, so fills fold into the existing pipeline stages.
+    CircuitBuilder b;
+    L1Geometry g;
+    const auto base = synthesizeL1(b, g, L1Variant::Baseline);
+    CircuitCost fill = synthesizeFillModule(b);
+    fill.delayNs += b.library().fixedDelayNs;
+    EXPECT_LT(fill.delayNs, base.delayNs);
+}
+
+TEST(Designs, SynthesizeAllProducesTable7Rows)
+{
+    CircuitBuilder b;
+    L1Geometry g;
+    const auto rows = synthesizeAll(b, g);
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].name, "Baseline");
+    EXPECT_FALSE(rows[0].hasFillSpill);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_TRUE(rows[i].hasFillSpill);
+        EXPECT_GT(rows[i].fill.areaGe, 0.0);
+        EXPECT_GT(rows[i].spill.areaGe, 0.0);
+    }
+}
+
+TEST(Designs, AbsoluteScaleNearPaper)
+{
+    // Calibration sanity: the baseline should land in the right decade
+    // (paper: 347,329 GE / 1.62ns / 15.84mW). The model is structural,
+    // not a synthesis flow, so allow +/-25%.
+    CircuitBuilder b;
+    L1Geometry g;
+    const auto base = synthesizeL1(b, g, L1Variant::Baseline);
+    EXPECT_NEAR(base.areaGe, 347329.0, 347329.0 * 0.25);
+    EXPECT_NEAR(base.delayNs, 1.62, 1.62 * 0.25);
+    EXPECT_NEAR(base.powerMw, 15.84, 15.84 * 0.30);
+
+    const auto spill = synthesizeSpillModule(b);
+    const auto fill = synthesizeFillModule(b);
+    EXPECT_NEAR(spill.areaGe, 34561.0, 34561.0 * 0.45);
+    EXPECT_NEAR(fill.areaGe, 8957.0, 8957.0 * 0.45);
+}
+
+TEST(GateLibraryDefaults, Sane)
+{
+    GateLibrary lib;
+    EXPECT_GT(lib.levelDelayNs, 0.0);
+    EXPECT_GT(lib.sramSmallArrayFactor, 1.0);
+    EXPECT_GT(lib.geDff, lib.geNand2);
+}
+
+} // namespace
+} // namespace califorms

@@ -2,7 +2,9 @@
  * @file common.hh
  * Shared helpers for the figure/table reproduction harnesses: CLI
  * parsing (--scale, --seeds), run helpers, and uniform headers so the
- * bench outputs are easy to diff against EXPERIMENTS.md.
+ * bench outputs are easy to diff against the expectations documented
+ * in EXPERIMENTS.md at the repository root (harness inventory, option
+ * semantics, output format).
  */
 
 #ifndef CALIFORMS_BENCH_COMMON_HH

@@ -1,0 +1,18 @@
+# Runs a command and requires BOTH a zero exit code and a stdout marker.
+# (Plain PASS_REGULAR_EXPRESSION makes ctest ignore the exit code, which
+# would let a crashing-but-printing binary pass.)
+#
+# Usage: cmake -DCMD=<argv joined with '|'> -DMARKER=<string> -P SmokeTest.cmake
+
+string(REPLACE "|" ";" cmd "${CMD}")
+execute_process(COMMAND ${cmd}
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "'${CMD}' exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+string(FIND "${out}" "${MARKER}" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "marker '${MARKER}' not found in output of '${CMD}':\n${out}")
+endif()

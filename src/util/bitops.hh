@@ -7,8 +7,17 @@
 #ifndef CALIFORMS_UTIL_BITOPS_HH
 #define CALIFORMS_UTIL_BITOPS_HH
 
+#if !defined(__cplusplus) || __cplusplus < 202002L
+#error "Califorms requires C++20: this header uses std::popcount/std::countr_zero from <bit>. Build through CMake (which sets CMAKE_CXX_STANDARD 20) or pass -std=c++20."
+#endif
+
 #include <bit>
 #include <cstdint>
+#include <version>
+
+static_assert(__cpp_lib_bitops >= 201907L,
+              "<bit> lacks the C++20 bit operations library "
+              "(__cpp_lib_bitops); upgrade the standard library");
 
 namespace califorms
 {

@@ -1,0 +1,50 @@
+/**
+ * @file cli.hh
+ * The unified `califorms` command line driver. One entrypoint shared by
+ * CI, the benches, and users, with four subcommands:
+ *
+ *   run     execute a workload through the full machine model
+ *   attack  replay the Section 7.3 security scenarios
+ *   sweep   iterate layout policies over a benchmark (policy harness)
+ *   trace   generate and replay plain-text sim traces
+ *
+ * Each cmd* function receives argv positioned after the subcommand word
+ * and returns a process exit code.
+ */
+
+#ifndef CALIFORMS_TOOLS_CLI_HH
+#define CALIFORMS_TOOLS_CLI_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "layout/policy.hh"
+
+namespace califorms::cli
+{
+
+int cmdRun(int argc, char **argv);
+int cmdAttack(int argc, char **argv);
+int cmdSweep(int argc, char **argv);
+int cmdTrace(int argc, char **argv);
+
+/** Parse a policy name (none|opportunistic|full|intelligent|fixed);
+ *  std::nullopt if unknown. */
+std::optional<InsertionPolicy> parsePolicy(const std::string &name);
+
+/** Split a comma-separated list into items (empty items preserved). */
+std::vector<std::string> splitCsv(const std::string &csv);
+
+/** Parse "3,5,7"-style unsigned integer lists; empty on malformed
+ *  input (including negative numbers). */
+std::vector<std::size_t> parseSizeList(const std::string &csv);
+
+/** Fetch the value after a "--flag value" pair; advances @p i. Exits
+ *  with an error message if the value is missing. */
+const char *flagValue(int argc, char **argv, int &i);
+
+} // namespace califorms::cli
+
+#endif // CALIFORMS_TOOLS_CLI_HH

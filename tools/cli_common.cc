@@ -1,0 +1,70 @@
+/**
+ * @file cli_common.cc
+ * Shared argument parsing helpers for the califorms CLI subcommands.
+ */
+
+#include "cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace califorms::cli
+{
+
+std::optional<InsertionPolicy>
+parsePolicy(const std::string &name)
+{
+    if (name == "none")
+        return InsertionPolicy::None;
+    if (name == "opportunistic")
+        return InsertionPolicy::Opportunistic;
+    if (name == "full")
+        return InsertionPolicy::Full;
+    if (name == "intelligent")
+        return InsertionPolicy::Intelligent;
+    if (name == "fixed")
+        return InsertionPolicy::FullFixed;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+parseSizeList(const std::string &csv)
+{
+    std::vector<std::size_t> out;
+    for (const std::string &item : splitCsv(csv)) {
+        // Digits only: strtoul would silently wrap "-3" to a huge value.
+        if (item.empty() ||
+            item.find_first_not_of("0123456789") != std::string::npos)
+            return {};
+        out.push_back(static_cast<std::size_t>(
+            std::strtoul(item.c_str(), nullptr, 10)));
+    }
+    return out;
+}
+
+const char *
+flagValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "califorms: %s requires a value\n", argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+} // namespace califorms::cli

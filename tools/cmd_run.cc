@@ -1,0 +1,140 @@
+/**
+ * @file cmd_run.cc
+ * `califorms run`: execute one benchmark (or the whole SPEC-like suite)
+ * through the full machine model and report the counters every figure
+ * is built from. Unlike the fixed per-figure benches this composes any
+ * (benchmark, policy, span, latency, L1 format) combination.
+ */
+
+#include "cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "workload/runner.hh"
+
+namespace califorms::cli
+{
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: califorms run <benchmark|all> [options]\n"
+        "\n"
+        "options:\n"
+        "  --policy P      none|opportunistic|full|intelligent|fixed "
+        "(default none)\n"
+        "  --maxspan N     maximum random span size (default 7)\n"
+        "  --scale S       workload iteration multiplier (default 0.5)\n"
+        "  --seed N        layout randomization seed (default 7)\n"
+        "  --no-cform      allocate layouts but never issue CFORMs\n"
+        "  --extra-latency add one cycle to L2 and L3 (Figure 10)\n"
+        "  --l1 F          bitvector|cal4b|cal1b metadata format "
+        "(Table 7)");
+}
+
+void
+report(const RunResult &r, const RunConfig &config)
+{
+    std::printf("benchmark=%s policy=%s maxspan=%zu cform=%s\n",
+                r.benchmark.c_str(), policyName(config.policy).c_str(),
+                config.policyParams.maxSpan,
+                config.heap.useCform ? "on" : "off");
+    std::printf("  cycles=%llu instructions=%llu ipc=%.3f\n",
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions),
+                r.cycles ? static_cast<double>(r.instructions) /
+                               static_cast<double>(r.cycles)
+                         : 0.0);
+    std::printf("  l1miss%%=%.2f l2miss%%=%.2f l3miss%%=%.2f "
+                "dram=%llu cforms=%llu\n",
+                100.0 * r.mem.l1.missRate(), 100.0 * r.mem.l2.missRate(),
+                100.0 * r.mem.l3.missRate(),
+                static_cast<unsigned long long>(r.mem.dramAccesses),
+                static_cast<unsigned long long>(r.mem.cformOps));
+    std::printf("  allocs=%llu frees=%llu exceptions=%zu/%zu "
+                "(delivered/suppressed)\n",
+                static_cast<unsigned long long>(r.heap.allocs),
+                static_cast<unsigned long long>(r.heap.frees),
+                r.exceptionsDelivered, r.exceptionsSuppressed);
+}
+
+} // namespace
+
+int
+cmdRun(int argc, char **argv)
+{
+    std::string bench_name;
+    RunConfig config;
+    config.scale = 0.5;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--policy") {
+            const std::string name = flagValue(argc, argv, i);
+            const auto p = parsePolicy(name);
+            if (!p) {
+                std::fprintf(stderr, "califorms run: unknown policy "
+                                     "'%s'\n",
+                             name.c_str());
+                return 2;
+            }
+            config.policy = *p;
+        } else if (arg == "--maxspan") {
+            config.policyParams.maxSpan = static_cast<std::size_t>(
+                std::atoi(flagValue(argc, argv, i)));
+            config.policyParams.fixedSpan = config.policyParams.maxSpan;
+        } else if (arg == "--scale") {
+            config.scale = std::atof(flagValue(argc, argv, i));
+        } else if (arg == "--seed") {
+            config.layoutSeed = static_cast<std::uint64_t>(
+                std::atoll(flagValue(argc, argv, i)));
+        } else if (arg == "--no-cform") {
+            config.withCform(false);
+        } else if (arg == "--extra-latency") {
+            config.machine.mem.extraL2L3Latency = 1;
+        } else if (arg == "--l1") {
+            const std::string f = flagValue(argc, argv, i);
+            if (f == "bitvector")
+                config.machine.mem.l1Format = L1Format::BitVector8B;
+            else if (f == "cal4b")
+                config.machine.mem.l1Format = L1Format::Cal4B;
+            else if (f == "cal1b")
+                config.machine.mem.l1Format = L1Format::Cal1B;
+            else {
+                std::fprintf(stderr, "califorms run: unknown L1 format "
+                                     "'%s'\n",
+                             f.c_str());
+                return 2;
+            }
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (bench_name.empty() && arg[0] != '-') {
+            bench_name = arg;
+        } else {
+            std::fprintf(stderr, "califorms run: unknown argument "
+                                 "'%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (bench_name.empty()) {
+        usage();
+        return 2;
+    }
+
+    if (bench_name == "all") {
+        for (const auto &b : spec2006Suite())
+            report(runBenchmark(b, config), config);
+        return 0;
+    }
+    report(runBenchmark(findBenchmark(bench_name), config), config);
+    return 0;
+}
+
+} // namespace califorms::cli

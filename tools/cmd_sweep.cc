@@ -1,0 +1,162 @@
+/**
+ * @file cmd_sweep.cc
+ * `califorms sweep`: the policy harness. Iterates insertion policies
+ * and span sizes over one benchmark (or the software-eval suite),
+ * averages cycles over layout seeds, and prints slowdown relative to
+ * the uninstrumented baseline — the Figure 11/12 methodology, but
+ * composable over any policy x span grid instead of fixed per-figure
+ * configurations.
+ */
+
+#include "cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "util/table.hh"
+#include "workload/runner.hh"
+
+namespace califorms::cli
+{
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: califorms sweep [options]\n"
+        "\n"
+        "options:\n"
+        "  --bench B       benchmark name or 'all' for the software-eval "
+        "suite (default mcf)\n"
+        "  --policies L    comma list of policies (default "
+        "none,opportunistic,full,intelligent)\n"
+        "  --maxspans L    comma list of max span sizes (default 3,5,7)\n"
+        "  --scale S       workload iteration multiplier (default 0.25)\n"
+        "  --seeds N       layout seeds per configuration (default 2)\n"
+        "  --extra-latency add one cycle to L2 and L3");
+}
+
+/** Mean cycles of @p bench under @p config over @p seeds layouts. */
+double
+meanCycles(const SpecBenchmark &bench, RunConfig config, unsigned seeds)
+{
+    double sum = 0;
+    for (unsigned s = 0; s < seeds; ++s) {
+        config.layoutSeed = 1000 + s;
+        sum += static_cast<double>(runBenchmark(bench, config).cycles);
+    }
+    return sum / seeds;
+}
+
+/** True for policies whose layout depends on the span size. */
+bool
+usesSpans(InsertionPolicy p)
+{
+    return p == InsertionPolicy::Full ||
+           p == InsertionPolicy::Intelligent ||
+           p == InsertionPolicy::FullFixed;
+}
+
+} // namespace
+
+int
+cmdSweep(int argc, char **argv)
+{
+    std::string bench_name = "mcf";
+    std::vector<InsertionPolicy> policies = {
+        InsertionPolicy::None, InsertionPolicy::Opportunistic,
+        InsertionPolicy::Full, InsertionPolicy::Intelligent};
+    std::vector<std::size_t> maxspans = {3, 5, 7};
+    RunConfig base;
+    base.scale = 0.25;
+    unsigned seeds = 2;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--bench") {
+            bench_name = flagValue(argc, argv, i);
+        } else if (arg == "--policies") {
+            policies.clear();
+            for (const std::string &name :
+                 splitCsv(flagValue(argc, argv, i))) {
+                const auto p = parsePolicy(name);
+                if (!p) {
+                    std::fprintf(stderr, "califorms sweep: unknown "
+                                         "policy '%s'\n",
+                                 name.c_str());
+                    return 2;
+                }
+                policies.push_back(*p);
+            }
+        } else if (arg == "--maxspans") {
+            maxspans = parseSizeList(flagValue(argc, argv, i));
+            if (maxspans.empty()) {
+                std::fprintf(stderr, "califorms sweep: bad --maxspans "
+                                     "list\n");
+                return 2;
+            }
+        } else if (arg == "--scale") {
+            base.scale = std::atof(flagValue(argc, argv, i));
+        } else if (arg == "--seeds") {
+            seeds = static_cast<unsigned>(
+                std::atoi(flagValue(argc, argv, i)));
+            if (seeds == 0)
+                seeds = 1;
+        } else if (arg == "--extra-latency") {
+            base.machine.mem.extraL2L3Latency = 1;
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "califorms sweep: unknown argument "
+                                 "'%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<const SpecBenchmark *> suite;
+    if (bench_name == "all") {
+        for (const auto &b : spec2006Suite())
+            if (b.inSoftwareEval)
+                suite.push_back(&b);
+    } else {
+        suite.push_back(&findBenchmark(bench_name));
+    }
+
+    TextTable table({"benchmark", "policy", "maxspan", "cycles",
+                     "slowdown"});
+    for (const SpecBenchmark *bench : suite) {
+        RunConfig config = base;
+        config.policy = InsertionPolicy::None;
+        const double baseline = meanCycles(*bench, config, seeds);
+
+        for (const InsertionPolicy policy : policies) {
+            config.policy = policy;
+            const std::vector<std::size_t> spans =
+                usesSpans(policy) ? maxspans
+                                  : std::vector<std::size_t>{0};
+            for (const std::size_t span : spans) {
+                if (span) {
+                    config.policyParams.maxSpan = span;
+                    config.policyParams.fixedSpan = span;
+                }
+                const double cycles =
+                    policy == InsertionPolicy::None
+                        ? baseline
+                        : meanCycles(*bench, config, seeds);
+                table.addRow({bench->name, policyName(policy),
+                              span ? std::to_string(span) : "-",
+                              TextTable::num(cycles, 0),
+                              TextTable::pct(cycles / baseline - 1.0)});
+            }
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+} // namespace califorms::cli

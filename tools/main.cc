@@ -1,0 +1,63 @@
+/**
+ * @file main.cc
+ * Entrypoint of the unified `califorms` CLI driver. Dispatches to the
+ * run / attack / sweep / trace subcommands; see cli.hh.
+ */
+
+#include "cli.hh"
+
+#include <cstdio>
+#include <exception>
+
+namespace
+{
+
+int
+usage(int rc)
+{
+    std::puts(
+        "usage: califorms <subcommand> [args]\n"
+        "\n"
+        "subcommands:\n"
+        "  run     execute a workload through the full machine model\n"
+        "  attack  replay the Section 7.3 security scenarios\n"
+        "  sweep   iterate layout policies over a benchmark\n"
+        "  trace   generate and replay plain-text sim traces\n"
+        "  help    show this message\n"
+        "\n"
+        "run 'califorms <subcommand> --help' for per-command options");
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace califorms::cli;
+
+    if (argc < 2)
+        return usage(2);
+    const std::string cmd = argv[1];
+
+    try {
+        if (cmd == "run")
+            return cmdRun(argc - 2, argv + 2);
+        if (cmd == "attack")
+            return cmdAttack(argc - 2, argv + 2);
+        if (cmd == "sweep")
+            return cmdSweep(argc - 2, argv + 2);
+        if (cmd == "trace")
+            return cmdTrace(argc - 2, argv + 2);
+        if (cmd == "help" || cmd == "--help")
+            return usage(0);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "califorms %s: %s\n", cmd.c_str(),
+                     e.what());
+        return 1;
+    }
+
+    std::fprintf(stderr, "califorms: unknown subcommand '%s'\n",
+                 cmd.c_str());
+    return usage(2);
+}

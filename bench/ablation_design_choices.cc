@@ -9,6 +9,9 @@
  *    overhead;
  *  - clean-before-use heap vs dirty-before-use discipline (CFORM
  *    traffic comparison).
+ *
+ * All three sweeps are one campaign over perlbench (intelligent
+ * policy), so --jobs parallelizes across the ablation axes.
  */
 
 #include "bench/common.hh"
@@ -20,14 +23,15 @@ using bench::Options;
 namespace
 {
 
-RunResult
-runPerl(const Options &opt, HeapParams heap)
+exp::Variant
+heapVariant(std::string label, HeapParams heap)
 {
-    RunConfig config;
-    config.scale = opt.scale;
-    config.policy = InsertionPolicy::Intelligent;
-    config.heap = heap;
-    return runBenchmark(findBenchmark("perlbench"), config);
+    exp::Variant v;
+    v.label = std::move(label);
+    v.policy = InsertionPolicy::Intelligent;
+    v.randomized = false;
+    v.tweak = [heap](RunConfig &c) { c.heap = heap; };
+    return v;
 }
 
 } // namespace
@@ -35,20 +39,52 @@ runPerl(const Options &opt, HeapParams heap)
 int
 main(int argc, char **argv)
 {
-    const Options opt = Options::parse(argc, argv);
+    Options opt = Options::parse(argc, argv);
+    // Every row reports per-run allocator counters (reuses, peak heap,
+    // CFORMs), which cannot be averaged over layouts — this harness is
+    // single-layout by construction, so keep the banner honest.
+    opt.seeds = 1;
     bench::banner("Ablation - allocator & CFORM design choices",
                   "Section 6.1 footnote 3 and quarantine design", opt);
+
+    const double fractions[] = {0.0, 0.1, 0.25, 0.5, 1.0};
+    const std::size_t guard_sizes[] = {0, 8, 16, 32};
+
+    exp::CampaignSpec spec;
+    spec.name = "ablation_design_choices";
+    spec.suite = {&findBenchmark("perlbench")};
+    for (const double frac : fractions) {
+        HeapParams heap;
+        heap.quarantineFraction = frac;
+        spec.variants.push_back(heapVariant(
+            "quarantine/" + TextTable::num(frac, 2), heap));
+    }
+    const std::size_t nt_base = spec.variants.size();
+    spec.variants.push_back(heapVariant("regular CFORM", HeapParams{}));
+    {
+        HeapParams heap;
+        heap.nonTemporalCform = true;
+        spec.variants.push_back(
+            heapVariant("non-temporal CFORM", heap));
+    }
+    const std::size_t guard_base = spec.variants.size();
+    for (const std::size_t g : guard_sizes) {
+        HeapParams heap;
+        heap.guardBytes = g;
+        spec.variants.push_back(
+            heapVariant("guard/" + std::to_string(g), heap));
+    }
+
+    const auto result = bench::runCampaign(opt, spec);
 
     // Quarantine fraction sweep (temporal safety window).
     std::printf("\n-- quarantine fraction (perlbench, intelligent "
                 "policy) --\n");
     TextTable quarantine({"fraction", "cycles", "reuses",
                           "peak heap (KB)"});
-    for (double frac : {0.0, 0.1, 0.25, 0.5, 1.0}) {
-        HeapParams heap;
-        heap.quarantineFraction = frac;
-        const auto r = runPerl(opt, heap);
-        quarantine.addRow({TextTable::num(frac, 2),
+    for (std::size_t i = 0; i < std::size(fractions); ++i) {
+        const RunResult &r = result.at(0, i);
+        quarantine.addRow({TextTable::num(fractions[i], 2),
                            std::to_string(r.cycles),
                            std::to_string(r.heap.reuses),
                            std::to_string(r.heap.peakHeapBytes / 1024)});
@@ -61,11 +97,8 @@ main(int argc, char **argv)
     // Non-temporal CFORM.
     std::printf("\n-- non-temporal CFORM (footnote 3) --\n");
     TextTable nt({"mode", "cycles", "L1 misses", "slowdown vs nt"});
-    HeapParams regular;
-    HeapParams non_temporal;
-    non_temporal.nonTemporalCform = true;
-    const auto r_reg = runPerl(opt, regular);
-    const auto r_nt = runPerl(opt, non_temporal);
+    const RunResult &r_reg = result.at(0, nt_base);
+    const RunResult &r_nt = result.at(0, nt_base + 1);
     nt.addRow({"regular CFORM", std::to_string(r_reg.cycles),
                std::to_string(r_reg.mem.l1.misses),
                TextTable::pct(static_cast<double>(r_reg.cycles) /
@@ -83,11 +116,10 @@ main(int argc, char **argv)
     std::printf("\n-- inter-object guard size --\n");
     TextTable guards({"guard bytes", "cycles", "heap footprint proxy",
                       "CFORMs"});
-    for (std::size_t g : {0u, 8u, 16u, 32u}) {
-        HeapParams heap;
-        heap.guardBytes = g;
-        const auto r = runPerl(opt, heap);
-        guards.addRow({std::to_string(g), std::to_string(r.cycles),
+    for (std::size_t i = 0; i < std::size(guard_sizes); ++i) {
+        const RunResult &r = result.at(0, guard_base + i);
+        guards.addRow({std::to_string(guard_sizes[i]),
+                       std::to_string(r.cycles),
                        std::to_string(r.heap.peakHeapBytes / 1024),
                        std::to_string(r.heap.cformsIssued)});
     }

@@ -24,43 +24,43 @@ main(int argc, char **argv)
                   "Table 7 delay overheads applied to the L1 hit path",
                   opt);
 
-    const struct
-    {
-        const char *name;
-        L1Format format;
-    } variants[] = {
-        {"califorms-8B (+0 cycles)", L1Format::BitVector8B},
-        {"califorms-1B (+1 cycle)", L1Format::Cal1B},
-        {"califorms-4B (+2 cycles)", L1Format::Cal4B},
+    // Baseline (variant 0): 8B format, intelligent policy with CFORM —
+    // the recommended deployment. The others swap only the L1 format.
+    auto format_variant = [](const char *label, L1Format format) {
+        exp::Variant v;
+        v.label = label;
+        v.policy = InsertionPolicy::Intelligent;
+        v.tweak = [format](RunConfig &c) {
+            c.machine.mem.l1Format = format;
+        };
+        return v;
+    };
+    exp::CampaignSpec spec;
+    spec.name = "appa_l1_variant_cost";
+    spec.suite = bench::softwareEvalSuite();
+    spec.variants = {
+        format_variant("califorms-8B (+0 cycles)",
+                       L1Format::BitVector8B),
+        format_variant("califorms-1B (+1 cycle)", L1Format::Cal1B),
+        format_variant("califorms-4B (+2 cycles)", L1Format::Cal4B),
     };
 
-    // Baseline: 8B format machine, intelligent policy with CFORM (the
-    // recommended deployment).
+    const auto result = bench::runCampaign(opt, spec);
+
     std::vector<double> base;
-    const auto suite = bench::softwareEvalSuite();
-    for (const auto *b : suite) {
-        RunConfig config;
-        config.scale = opt.scale;
-        config.policy = InsertionPolicy::Intelligent;
-        base.push_back(
-            static_cast<double>(runBenchmark(*b, config).cycles));
-    }
+    for (std::size_t i = 0; i < spec.suite.size(); ++i)
+        base.push_back(result.meanCycles(i, 0));
 
     TextTable table({"L1 format", "avg slowdown vs 8B", "max"});
-    for (const auto &v : variants) {
+    for (std::size_t v = 0; v < spec.variants.size(); ++v) {
         std::vector<double> with;
         double worst = 0;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            RunConfig config;
-            config.scale = opt.scale;
-            config.policy = InsertionPolicy::Intelligent;
-            config.machine.mem.l1Format = v.format;
-            const double cycles = static_cast<double>(
-                runBenchmark(*suite[i], config).cycles);
+        for (std::size_t i = 0; i < spec.suite.size(); ++i) {
+            const double cycles = result.meanCycles(i, v);
             with.push_back(cycles);
             worst = std::max(worst, cycles / base[i] - 1.0);
         }
-        table.addRow({v.name,
+        table.addRow({spec.variants[v].label,
                       TextTable::pct(averageSlowdown(base, with)),
                       TextTable::pct(worst)});
     }

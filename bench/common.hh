@@ -1,10 +1,16 @@
 /**
  * @file common.hh
  * Shared helpers for the figure/table reproduction harnesses: CLI
- * parsing (--scale, --seeds), run helpers, and uniform headers so the
- * bench outputs are easy to diff against the expectations documented
- * in EXPERIMENTS.md at the repository root (harness inventory, option
- * semantics, output format).
+ * parsing (--scale, --seeds, --jobs, --json/--csv), the campaign-engine
+ * glue, and uniform headers so the bench outputs are easy to diff
+ * against the expectations documented in EXPERIMENTS.md at the
+ * repository root (harness inventory, option semantics, output format).
+ *
+ * Every grid-shaped harness expresses its grid as an exp::CampaignSpec
+ * and executes it through runCampaign() below, which honours --jobs
+ * (parallel execution with submission-order result collection, so
+ * stdout is bit-identical at any job count) and records the optional
+ * JSON/CSV reports.
  */
 
 #ifndef CALIFORMS_BENCH_COMMON_HH
@@ -16,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/campaign.hh"
+#include "exp/report.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
 
@@ -27,7 +35,10 @@ struct Options
 {
     double scale = 0.5;   //!< workload iteration multiplier
     unsigned seeds = 2;   //!< randomized binaries per configuration
+    unsigned jobs = 1;    //!< campaign worker threads; 0 = all cores
     bool quick = false;   //!< --quick: one seed, small scale
+    std::string jsonPath; //!< --json FILE: machine-readable report
+    std::string csvPath;  //!< --csv FILE: one row per run
 
     static Options
     parse(int argc, char **argv)
@@ -45,9 +56,20 @@ struct Options
                        i + 1 < argc) {
                 opt.seeds = static_cast<unsigned>(
                     std::atoi(argv[++i]));
+            } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                       i + 1 < argc) {
+                opt.jobs = static_cast<unsigned>(
+                    std::atoi(argv[++i]));
+            } else if (std::strcmp(argv[i], "--json") == 0 &&
+                       i + 1 < argc) {
+                opt.jsonPath = argv[++i];
+            } else if (std::strcmp(argv[i], "--csv") == 0 &&
+                       i + 1 < argc) {
+                opt.csvPath = argv[++i];
             } else if (std::strcmp(argv[i], "--help") == 0) {
                 std::printf("usage: %s [--scale S] [--seeds N] "
-                            "[--quick]\n",
+                            "[--jobs N] [--quick]\n"
+                            "          [--json FILE] [--csv FILE]\n",
                             argv[0]);
                 std::exit(0);
             }
@@ -58,9 +80,17 @@ struct Options
             opt.seeds = 1;
         return opt;
     }
+
+    /** The conventional layout-seed list (1000, 1001, ...). */
+    std::vector<std::uint64_t>
+    layoutSeeds() const
+    {
+        return exp::CampaignSpec::seedRange(seeds);
+    }
 };
 
-/** Print a uniform experiment banner. */
+/** Print a uniform experiment banner. Deliberately omits --jobs: the
+ *  job count must never change a harness's output. */
 inline void
 banner(const char *experiment, const char *paper_summary,
        const Options &opt)
@@ -85,17 +115,37 @@ softwareEvalSuite()
     return out;
 }
 
-/** Average over layout seeds of the cycle count for one config. */
-inline double
-meanCyclesOverSeeds(const SpecBenchmark &bench, RunConfig config,
-                    unsigned seeds)
+/** The full 19-benchmark suite (Figures 4 and 10). */
+inline std::vector<const SpecBenchmark *>
+fullSuite()
 {
-    double sum = 0;
-    for (unsigned s = 0; s < seeds; ++s) {
-        config.layoutSeed = 1000 + s;
-        sum += static_cast<double>(runBenchmark(bench, config).cycles);
+    std::vector<const SpecBenchmark *> out;
+    for (const auto &b : spec2006Suite())
+        out.push_back(&b);
+    return out;
+}
+
+/**
+ * Execute @p spec with the harness options applied: scale and layout
+ * seeds come from @p opt, execution uses --jobs workers, and the
+ * JSON/CSV reports are written if requested (destinations validated
+ * before any simulation time is spent). Report notes go to stderr so
+ * stdout stays diffable across job counts and report paths. Exits with
+ * a message rather than std::terminate on report errors — the bench
+ * mains have no try/catch of their own.
+ */
+inline exp::CampaignResult
+runCampaign(const Options &opt, exp::CampaignSpec spec)
+{
+    spec.base.scale = opt.scale;
+    spec.layoutSeeds = opt.layoutSeeds();
+    try {
+        return exp::runCampaignWithReports(spec, opt.jobs,
+                                           opt.jsonPath, opt.csvPath);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
     }
-    return sum / seeds;
 }
 
 } // namespace califorms::bench

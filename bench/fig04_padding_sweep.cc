@@ -19,17 +19,28 @@ main(int argc, char **argv)
                   "avg slowdown 3.0% @1B ... 7.6% @7B on SPEC CPU2006",
                   opt);
 
-    const auto &suite = spec2006Suite();
-
-    // Baselines (policy None), one per benchmark.
-    std::vector<double> base;
-    for (const auto &b : suite) {
-        RunConfig config;
-        config.scale = opt.scale;
-        config.withCform(false); // the original, uninstrumented binary
-        base.push_back(static_cast<double>(
-            runBenchmark(b, config).cycles));
+    // Fixed-size padding has no randomness, so no variant is averaged
+    // over layout seeds; variant 0 is the unpadded baseline.
+    exp::CampaignSpec spec;
+    spec.name = "fig04_padding_sweep";
+    spec.suite = bench::fullSuite();
+    spec.variants = {
+        {"base", InsertionPolicy::None, 0, 0, false, false, {}}};
+    for (std::size_t pad = 1; pad <= 7; ++pad) {
+        exp::Variant v;
+        v.label = std::to_string(pad) + "B";
+        v.policy = InsertionPolicy::FullFixed;
+        v.fixedSpan = pad;
+        v.cform = false;
+        v.randomized = false;
+        spec.variants.push_back(std::move(v));
     }
+
+    const auto result = bench::runCampaign(opt, spec);
+
+    std::vector<double> base;
+    for (std::size_t i = 0; i < spec.suite.size(); ++i)
+        base.push_back(result.meanCycles(i, 0));
 
     TextTable table({"padding", "avg slowdown", "min", "max",
                      "paper avg"});
@@ -39,14 +50,8 @@ main(int argc, char **argv)
     for (std::size_t pad = 1; pad <= 7; ++pad) {
         std::vector<double> with;
         double lo = 1e9, hi = -1e9;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            RunConfig config;
-            config.scale = opt.scale;
-            config.policy = InsertionPolicy::FullFixed;
-            config.policyParams.fixedSpan = pad;
-            config.withCform(false);
-            const double cycles = static_cast<double>(
-                runBenchmark(suite[i], config).cycles);
+        for (std::size_t i = 0; i < spec.suite.size(); ++i) {
+            const double cycles = result.meanCycles(i, pad);
             with.push_back(cycles);
             const double s = cycles / base[i] - 1.0;
             lo = std::min(lo, s);

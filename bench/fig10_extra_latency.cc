@@ -24,20 +24,27 @@ main(int argc, char **argv)
     std::printf("\nTable 3 - simulated system configuration:\n%s\n",
                 describeParams(MachineParams{}).c_str());
 
+    exp::CampaignSpec spec;
+    spec.name = "fig10_extra_latency";
+    spec.suite = bench::fullSuite();
+    // Original binaries both times; only the cache latency differs.
+    spec.variants = {
+        {"base", InsertionPolicy::None, 0, 0, false, false, {}},
+        {"+1cyc L2/L3", InsertionPolicy::None, 0, 0, false, false,
+         [](RunConfig &c) { c.machine.mem.extraL2L3Latency = 1; }},
+    };
+
+    const auto result = bench::runCampaign(opt, spec);
+
     TextTable table({"benchmark", "base cycles", "+1cyc cycles",
                      "slowdown"});
     std::vector<double> base, with;
-    for (const auto &b : spec2006Suite()) {
-        RunConfig c0;
-        c0.scale = opt.scale;
-        c0.withCform(false); // original binaries; only latency differs
-        RunConfig c1 = c0;
-        c1.machine.mem.extraL2L3Latency = 1;
-        const auto r0 = runBenchmark(b, c0);
-        const auto r1 = runBenchmark(b, c1);
+    for (std::size_t i = 0; i < spec.suite.size(); ++i) {
+        const RunResult &r0 = result.at(i, 0);
+        const RunResult &r1 = result.at(i, 1);
         base.push_back(static_cast<double>(r0.cycles));
         with.push_back(static_cast<double>(r1.cycles));
-        table.addRow({b.name, std::to_string(r0.cycles),
+        table.addRow({spec.suite[i]->name, std::to_string(r0.cycles),
                       std::to_string(r1.cycles),
                       TextTable::pct(slowdownVs(r0, r1))});
     }

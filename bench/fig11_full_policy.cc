@@ -14,20 +14,6 @@
 using namespace califorms;
 using bench::Options;
 
-namespace
-{
-
-struct Config
-{
-    const char *label;
-    InsertionPolicy policy;
-    std::size_t maxSpan;
-    bool cform;
-    bool randomized; //!< average over layout seeds
-};
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -38,55 +24,47 @@ main(int argc, char **argv)
         "libquantum >80%",
         opt);
 
-    const Config configs[] = {
-        {"1-3B", InsertionPolicy::Full, 3, false, true},
-        {"1-5B", InsertionPolicy::Full, 5, false, true},
-        {"1-7B", InsertionPolicy::Full, 7, false, true},
-        {"Opportunistic CFORM", InsertionPolicy::Opportunistic, 0, true,
-         false},
-        {"1-3B CFORM", InsertionPolicy::Full, 3, true, true},
-        {"1-5B CFORM", InsertionPolicy::Full, 5, true, true},
-        {"1-7B CFORM", InsertionPolicy::Full, 7, true, true},
+    // Variant 0 is the uninstrumented baseline binary; the rest are the
+    // Figure 11 bars left to right.
+    exp::CampaignSpec spec;
+    spec.name = "fig11_full_policy";
+    spec.suite = bench::softwareEvalSuite();
+    spec.variants = {
+        {"base", InsertionPolicy::None, 0, 0, false, false, {}},
+        {"1-3B", InsertionPolicy::Full, 3, 0, false, true, {}},
+        {"1-5B", InsertionPolicy::Full, 5, 0, false, true, {}},
+        {"1-7B", InsertionPolicy::Full, 7, 0, false, true, {}},
+        {"Opportunistic CFORM", InsertionPolicy::Opportunistic, 0, 0,
+         true, false, {}},
+        {"1-3B CFORM", InsertionPolicy::Full, 3, 0, true, true, {}},
+        {"1-5B CFORM", InsertionPolicy::Full, 5, 0, true, true, {}},
+        {"1-7B CFORM", InsertionPolicy::Full, 7, 0, true, true, {}},
     };
 
-    const auto suite = bench::softwareEvalSuite();
-
-    std::vector<double> base;
-    for (const auto *b : suite) {
-        RunConfig config;
-        config.scale = opt.scale;
-        config.withCform(false); // the original, uninstrumented binary
-        base.push_back(
-            static_cast<double>(runBenchmark(*b, config).cycles));
-    }
+    const auto result = bench::runCampaign(opt, spec);
+    const std::size_t n_variants = spec.variants.size();
 
     std::vector<std::string> header = {"benchmark"};
-    for (const auto &c : configs)
-        header.push_back(c.label);
+    for (std::size_t v = 1; v < n_variants; ++v)
+        header.push_back(spec.variants[v].label);
     TextTable table(header);
 
-    std::vector<std::vector<double>> per_config(std::size(configs));
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        std::vector<std::string> row = {suite[i]->name};
-        for (std::size_t c = 0; c < std::size(configs); ++c) {
-            RunConfig config;
-            config.scale = opt.scale;
-            config.policy = configs[c].policy;
-            config.policyParams.maxSpan =
-                std::max<std::size_t>(1, configs[c].maxSpan);
-            config.withCform(configs[c].cform);
-            const double cycles = bench::meanCyclesOverSeeds(
-                *suite[i], config,
-                configs[c].randomized ? opt.seeds : 1);
-            per_config[c].push_back(cycles);
+    std::vector<double> base;
+    std::vector<std::vector<double>> per_config(n_variants - 1);
+    for (std::size_t i = 0; i < spec.suite.size(); ++i) {
+        base.push_back(result.meanCycles(i, 0));
+        std::vector<std::string> row = {spec.suite[i]->name};
+        for (std::size_t v = 1; v < n_variants; ++v) {
+            const double cycles = result.meanCycles(i, v);
+            per_config[v - 1].push_back(cycles);
             row.push_back(TextTable::pct(cycles / base[i] - 1.0));
         }
         table.addRow(row);
     }
     std::vector<std::string> avg_row = {"AVG"};
-    for (std::size_t c = 0; c < std::size(configs); ++c)
+    for (auto &config_cycles : per_config)
         avg_row.push_back(
-            TextTable::pct(averageSlowdown(base, per_config[c])));
+            TextTable::pct(averageSlowdown(base, config_cycles)));
     table.addRow(avg_row);
     std::printf("%s", table.render().c_str());
 

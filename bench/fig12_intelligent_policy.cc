@@ -23,37 +23,36 @@ main(int argc, char **argv)
         "perlbench 7.2%",
         opt);
 
-    const std::size_t spans[] = {3, 5, 7};
-    const auto suite = bench::softwareEvalSuite();
+    exp::CampaignSpec spec;
+    spec.name = "fig12_intelligent_policy";
+    spec.suite = bench::softwareEvalSuite();
+    spec.variants = {
+        {"base", InsertionPolicy::None, 0, 0, false, false, {}}};
+    for (const bool cform : {false, true})
+        for (const std::size_t span : {3u, 5u, 7u}) {
+            exp::Variant v;
+            v.label = "1-" + std::to_string(span) + "B" +
+                      (cform ? " CFORM" : "");
+            v.policy = InsertionPolicy::Intelligent;
+            v.maxSpan = span;
+            v.cform = cform;
+            spec.variants.push_back(std::move(v));
+        }
 
-    std::vector<double> base;
-    for (const auto *b : suite) {
-        RunConfig config;
-        config.scale = opt.scale;
-        config.withCform(false); // the original, uninstrumented binary
-        base.push_back(
-            static_cast<double>(runBenchmark(*b, config).cycles));
-    }
+    const auto result = bench::runCampaign(opt, spec);
+    const std::size_t n_variants = spec.variants.size();
 
     TextTable table({"benchmark", "1-3B", "1-5B", "1-7B", "1-3B CFORM",
                      "1-5B CFORM", "1-7B CFORM"});
-    std::vector<std::vector<double>> per_config(6);
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        std::vector<std::string> row = {suite[i]->name};
-        std::size_t col = 0;
-        for (bool cform : {false, true}) {
-            for (std::size_t span : spans) {
-                RunConfig config;
-                config.scale = opt.scale;
-                config.policy = InsertionPolicy::Intelligent;
-                config.policyParams.maxSpan = span;
-                config.withCform(cform);
-                const double cycles = bench::meanCyclesOverSeeds(
-                    *suite[i], config, opt.seeds);
-                per_config[col].push_back(cycles);
-                row.push_back(TextTable::pct(cycles / base[i] - 1.0));
-                ++col;
-            }
+    std::vector<double> base;
+    std::vector<std::vector<double>> per_config(n_variants - 1);
+    for (std::size_t i = 0; i < spec.suite.size(); ++i) {
+        base.push_back(result.meanCycles(i, 0));
+        std::vector<std::string> row = {spec.suite[i]->name};
+        for (std::size_t v = 1; v < n_variants; ++v) {
+            const double cycles = result.meanCycles(i, v);
+            per_config[v - 1].push_back(cycles);
+            row.push_back(TextTable::pct(cycles / base[i] - 1.0));
         }
         table.addRow(row);
     }

@@ -1,0 +1,128 @@
+/**
+ * @file campaign.hh
+ * Deterministic parallel campaign engine.
+ *
+ * The paper's evaluation is a grid of independent simulations:
+ * benchmark x insertion policy x span size x layout seed. A
+ * CampaignSpec describes that grid declaratively; expand() flattens it
+ * into RunUnits in a fixed submission order; runCampaign() executes the
+ * units on a work-stealing std::jthread pool and collects results
+ * indexed by submission order, so the output is bit-identical whether
+ * the campaign runs on one thread or sixteen. Every bench harness and
+ * the `califorms sweep` subcommand drive their grids through this
+ * engine (see bench/common.hh and tools/cmd_sweep.cc).
+ */
+
+#ifndef CALIFORMS_EXP_CAMPAIGN_HH
+#define CALIFORMS_EXP_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/runner.hh"
+
+namespace califorms::exp
+{
+
+/**
+ * One column of a campaign: a named deviation from the base RunConfig.
+ * Fields left at their defaults keep the base configuration's value.
+ */
+struct Variant
+{
+    std::string label;
+    InsertionPolicy policy = InsertionPolicy::None;
+    std::size_t maxSpan = 0;   //!< 0 = keep base PolicyParams::maxSpan
+    std::size_t fixedSpan = 0; //!< 0 = keep base PolicyParams::fixedSpan
+    /** nullopt = keep the base allocators' CFORM setting. */
+    std::optional<bool> cform;
+    /** False: layout randomization is irrelevant (e.g. the baseline or
+     *  a fixed-span policy) — run only the first layout seed. */
+    bool randomized = true;
+    /** Escape hatch for knobs the declarative fields do not cover
+     *  (L1 format, extra latency, heap parameters, ...). Applied last,
+     *  during expand(), never concurrently. */
+    std::function<void(RunConfig &)> tweak;
+};
+
+/** True for policies whose layout depends on the span-size axis. */
+bool policyUsesSpans(InsertionPolicy policy);
+
+/** One expanded grid cell, tagged with its position. */
+struct RunUnit
+{
+    std::size_t index = 0; //!< submission order == result slot
+    const SpecBenchmark *bench = nullptr;
+    std::size_t benchIndex = 0;
+    std::size_t variantIndex = 0;
+    std::size_t seedIndex = 0;
+    RunConfig config{};
+};
+
+/** The declarative grid. */
+struct CampaignSpec
+{
+    std::string name; //!< experiment name for reports
+    std::vector<const SpecBenchmark *> suite;
+    std::vector<Variant> variants;
+    /** Layout seeds averaged over for randomized variants; the first
+     *  entry doubles as the seed for non-randomized variants. */
+    std::vector<std::uint64_t> layoutSeeds = {1000};
+    RunConfig base{};
+
+    /** The conventional seed list: first, first+1, ... (n entries). */
+    static std::vector<std::uint64_t>
+    seedRange(unsigned n, std::uint64_t first = 1000);
+
+    /**
+     * Cross @p policies with the @p spans axis, filtering the span
+     * dimension: span-using policies (full/intelligent/fixed) get one
+     * variant per span, the others (none/opportunistic) appear once.
+     */
+    static std::vector<Variant>
+    crossPolicySpans(const std::vector<InsertionPolicy> &policies,
+                     const std::vector<std::size_t> &spans);
+
+    /** Flatten to units, benchmark-major then variant then seed. */
+    std::vector<RunUnit> expand() const;
+};
+
+/** 0 means "all hardware threads"; always returns >= 1. */
+unsigned effectiveJobs(unsigned jobs);
+
+/**
+ * Execute @p units on @p jobs workers (work-stealing; jobs==1 runs
+ * inline). results[i] corresponds to units[i] regardless of jobs. The
+ * first exception thrown by a unit is rethrown after the pool drains.
+ */
+std::vector<RunResult> runUnits(const std::vector<RunUnit> &units,
+                                unsigned jobs);
+
+/** A finished campaign: the spec, its expansion, and all results. */
+struct CampaignResult
+{
+    CampaignSpec spec;
+    std::vector<RunUnit> units;
+    std::vector<RunResult> results; //!< results[i] is for units[i]
+
+    /** Mean cycles over the layout seeds of one (benchmark, variant)
+     *  cell, summed in seed order (so the value is job-count
+     *  independent). */
+    double meanCycles(std::size_t bench_idx,
+                      std::size_t variant_idx) const;
+
+    /** The single result of one fully-indexed cell (throws if the cell
+     *  was not part of the grid). */
+    const RunResult &at(std::size_t bench_idx, std::size_t variant_idx,
+                        std::size_t seed_idx = 0) const;
+};
+
+/** Expand and run the whole campaign. */
+CampaignResult runCampaign(const CampaignSpec &spec, unsigned jobs = 1);
+
+} // namespace califorms::exp
+
+#endif // CALIFORMS_EXP_CAMPAIGN_HH

@@ -1,0 +1,255 @@
+#include "exp/report.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "layout/policy.hh"
+#include "sim/stats_dump.hh"
+
+namespace califorms::exp
+{
+
+namespace
+{
+
+/** Shortest decimal form that round-trips to the same double. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+u64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** RFC 4180 quoting for fields that may carry delimiters. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        out += c;
+        if (c == '"')
+            out += '"';
+    }
+    out += '"';
+    return out;
+}
+
+void
+runJson(std::ostringstream &os, const RunUnit &unit,
+        const RunResult &r, const CampaignSpec &spec)
+{
+    const Variant &variant = spec.variants[unit.variantIndex];
+    os << "    {\"benchmark\": " << jsonString(r.benchmark)
+       << ", \"variant\": " << jsonString(variant.label)
+       << ", \"variantIndex\": " << unit.variantIndex
+       << ", \"layoutSeed\": " << u64(unit.config.layoutSeed)
+       << ",\n     \"cycles\": " << u64(r.cycles)
+       << ", \"instructions\": " << u64(r.instructions)
+       << ", \"ipc\": "
+       << jsonNumber(r.cycles ? static_cast<double>(r.instructions) /
+                                    static_cast<double>(r.cycles)
+                              : 0.0)
+       << ",\n     \"mem\": {";
+    bool first = true;
+    for (const StatEntry &e : memStatEntries(r.mem)) {
+        os << (first ? "" : ", ") << jsonString(e.name) << ": "
+           << jsonNumber(e.value);
+        first = false;
+    }
+    os << "},\n     \"heap\": {\"allocs\": " << u64(r.heap.allocs)
+       << ", \"frees\": " << u64(r.heap.frees)
+       << ", \"reuses\": " << u64(r.heap.reuses)
+       << ", \"cformsIssued\": " << u64(r.heap.cformsIssued)
+       << ", \"bytesAllocated\": " << u64(r.heap.bytesAllocated)
+       << ", \"peakHeapBytes\": " << u64(r.heap.peakHeapBytes)
+       << "},\n     \"exceptions\": {\"delivered\": "
+       << u64(r.exceptionsDelivered)
+       << ", \"suppressed\": " << u64(r.exceptionsSuppressed) << "}}";
+}
+
+} // namespace
+
+std::string
+campaignJson(const CampaignResult &result, const ReportTiming &timing)
+{
+    const CampaignSpec &spec = result.spec;
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"califorms-campaign/v1\",\n";
+    os << "  \"campaign\": " << jsonString(spec.name) << ",\n";
+    os << "  \"scale\": " << jsonNumber(spec.base.scale) << ",\n";
+    os << "  \"layoutSeeds\": [";
+    for (std::size_t i = 0; i < spec.layoutSeeds.size(); ++i)
+        os << (i ? ", " : "") << u64(spec.layoutSeeds[i]);
+    os << "],\n";
+    os << "  \"benchmarks\": [";
+    for (std::size_t i = 0; i < spec.suite.size(); ++i)
+        os << (i ? ", " : "") << jsonString(spec.suite[i]->name);
+    os << "],\n";
+    os << "  \"variants\": [\n";
+    for (std::size_t i = 0; i < spec.variants.size(); ++i) {
+        const Variant &v = spec.variants[i];
+        os << "    {\"label\": " << jsonString(v.label)
+           << ", \"policy\": " << jsonString(policyName(v.policy))
+           << ", \"maxSpan\": " << v.maxSpan
+           << ", \"fixedSpan\": " << v.fixedSpan << ", \"cform\": "
+           << (v.cform ? (*v.cform ? "true" : "false") : "null")
+           << ", \"randomized\": " << (v.randomized ? "true" : "false")
+           << "}" << (i + 1 < spec.variants.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    if (timing.include) {
+        os << "  \"timing\": {\"jobs\": " << timing.jobs
+           << ", \"elapsedMs\": " << jsonNumber(timing.elapsedMs)
+           << "},\n";
+    }
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < result.units.size(); ++i) {
+        runJson(os, result.units[i], result.results[i], spec);
+        os << (i + 1 < result.units.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string
+campaignCsv(const CampaignResult &result)
+{
+    std::ostringstream os;
+    os << "benchmark,variant,policy,maxSpan,fixedSpan,layoutSeed,cycles,"
+          "instructions,l1dMisses,l2Misses,l3Misses,dramAccesses,"
+          "spills,fills,cformOps,securityFaults,heapAllocs,"
+          "heapCformsIssued,peakHeapBytes,exceptionsDelivered,"
+          "exceptionsSuppressed\n";
+    for (std::size_t i = 0; i < result.units.size(); ++i) {
+        const RunUnit &unit = result.units[i];
+        const RunResult &r = result.results[i];
+        const Variant &v = result.spec.variants[unit.variantIndex];
+        os << csvField(r.benchmark) << ',' << csvField(v.label) << ','
+           << policyName(v.policy) << ',' << v.maxSpan << ','
+           << v.fixedSpan << ','
+           << u64(unit.config.layoutSeed) << ',' << u64(r.cycles) << ','
+           << u64(r.instructions) << ',' << u64(r.mem.l1.misses) << ','
+           << u64(r.mem.l2.misses) << ',' << u64(r.mem.l3.misses) << ','
+           << u64(r.mem.dramAccesses) << ',' << u64(r.mem.spills) << ','
+           << u64(r.mem.fills) << ',' << u64(r.mem.cformOps) << ','
+           << u64(r.mem.securityFaults) << ',' << u64(r.heap.allocs)
+           << ',' << u64(r.heap.cformsIssued) << ','
+           << u64(r.heap.peakHeapBytes) << ','
+           << u64(r.exceptionsDelivered) << ','
+           << u64(r.exceptionsSuppressed) << '\n';
+    }
+    return os.str();
+}
+
+void
+writeReportFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open report file " + path);
+    out << content;
+    if (!out.flush())
+        throw std::runtime_error("cannot write report file " + path);
+}
+
+CampaignResult
+runCampaignWithReports(const CampaignSpec &spec, unsigned jobs,
+                       const std::string &json_path,
+                       const std::string &csv_path)
+{
+    // Fail on unwritable destinations up front — but probe in append
+    // mode so a failed campaign does not truncate a previous good
+    // report at the same path.
+    for (const std::string &path : {json_path, csv_path})
+        if (!path.empty()) {
+            std::ofstream probe(path,
+                                std::ios::binary | std::ios::app);
+            if (!probe)
+                throw std::runtime_error("cannot open report file " +
+                                         path);
+        }
+    const auto t0 = std::chrono::steady_clock::now();
+    CampaignResult result = runCampaign(spec, jobs);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    writeReports(result, {true, jobs, elapsed_ms}, json_path,
+                 csv_path);
+    return result;
+}
+
+void
+writeReports(const CampaignResult &result, const ReportTiming &timing,
+             const std::string &json_path, const std::string &csv_path)
+{
+    if (!json_path.empty()) {
+        writeReportFile(json_path, campaignJson(result, timing));
+        std::fprintf(stderr, "json report: %s\n", json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        writeReportFile(csv_path, campaignCsv(result));
+        std::fprintf(stderr, "csv report: %s\n", csv_path.c_str());
+    }
+}
+
+} // namespace califorms::exp

@@ -10,25 +10,55 @@ namespace
 {
 
 void
+cacheEntries(std::vector<StatEntry> &out, const std::string &prefix,
+             const CacheStats &s)
+{
+    out.push_back({prefix + ".hits", static_cast<double>(s.hits),
+                   "hits"});
+    out.push_back({prefix + ".misses", static_cast<double>(s.misses),
+                   "misses"});
+    out.push_back({prefix + ".missRate", s.missRate(), "miss rate"});
+    out.push_back({prefix + ".evictions",
+                   static_cast<double>(s.evictions), "evictions"});
+    out.push_back({prefix + ".dirtyEvictions",
+                   static_cast<double>(s.dirtyEvictions),
+                   "dirty evictions"});
+}
+
+} // namespace
+
+std::vector<StatEntry>
+memStatEntries(const MemSysStats &mem)
+{
+    std::vector<StatEntry> out;
+    cacheEntries(out, "l1d", mem.l1);
+    cacheEntries(out, "l2", mem.l2);
+    cacheEntries(out, "l3", mem.l3);
+    out.push_back({"dram.accesses",
+                   static_cast<double>(mem.dramAccesses),
+                   "lines moved to/from DRAM"});
+    out.push_back({"califorms.spills", static_cast<double>(mem.spills),
+                   "bitvector->sentinel conversions"});
+    out.push_back({"califorms.fills", static_cast<double>(mem.fills),
+                   "sentinel->bitvector conversions"});
+    out.push_back({"califorms.cformOps",
+                   static_cast<double>(mem.cformOps),
+                   "CFORM instructions executed"});
+    out.push_back({"califorms.securityFaults",
+                   static_cast<double>(mem.securityFaults),
+                   "accesses that touched security bytes"});
+    return out;
+}
+
+namespace
+{
+
+void
 line(std::ostringstream &os, const std::string &name, double value,
      const char *desc)
 {
     os << std::left << std::setw(34) << name << std::setw(16) << value
        << "# " << desc << "\n";
-}
-
-void
-cacheLines(std::ostringstream &os, const std::string &prefix,
-           const CacheStats &s)
-{
-    line(os, prefix + ".hits", static_cast<double>(s.hits), "hits");
-    line(os, prefix + ".misses", static_cast<double>(s.misses),
-         "misses");
-    line(os, prefix + ".missRate", s.missRate(), "miss rate");
-    line(os, prefix + ".evictions", static_cast<double>(s.evictions),
-         "evictions");
-    line(os, prefix + ".dirtyEvictions",
-         static_cast<double>(s.dirtyEvictions), "dirty evictions");
 }
 
 } // namespace
@@ -38,7 +68,6 @@ dumpStats(const Machine &machine)
 {
     std::ostringstream os;
     os << "---------- califorms stats ----------\n";
-    const auto mem = machine.memStats();
     line(os, "core.cycles", static_cast<double>(machine.cycles()),
          "simulated cycles (incl. bandwidth roofline)");
     line(os, "core.instructions",
@@ -50,20 +79,8 @@ dumpStats(const Machine &machine)
                   static_cast<double>(machine.cycles())
             : 0.0;
     line(os, "core.ipc", ipc, "instructions per cycle");
-    cacheLines(os, "l1d", mem.l1);
-    cacheLines(os, "l2", mem.l2);
-    cacheLines(os, "l3", mem.l3);
-    line(os, "dram.accesses", static_cast<double>(mem.dramAccesses),
-         "lines moved to/from DRAM");
-    line(os, "califorms.spills", static_cast<double>(mem.spills),
-         "bitvector->sentinel conversions");
-    line(os, "califorms.fills", static_cast<double>(mem.fills),
-         "sentinel->bitvector conversions");
-    line(os, "califorms.cformOps", static_cast<double>(mem.cformOps),
-         "CFORM instructions executed");
-    line(os, "califorms.securityFaults",
-         static_cast<double>(mem.securityFaults),
-         "accesses that touched security bytes");
+    for (const StatEntry &e : memStatEntries(machine.memStats()))
+        line(os, e.name, e.value, e.desc);
     line(os, "exceptions.delivered",
          static_cast<double>(machine.exceptions().deliveredCount()),
          "privileged exceptions delivered");

@@ -2,18 +2,33 @@
  * @file stats_dump.hh
  * gem5-style flat statistics dump for a Machine: every counter on one
  * "name value # description" line, suitable for diffing across runs
- * and for downstream scripting.
+ * and for downstream scripting. The underlying name/value entries are
+ * exposed so other emitters (exp/report JSON and CSV) reuse the exact
+ * same stat names.
  */
 
 #ifndef CALIFORMS_SIM_STATS_DUMP_HH
 #define CALIFORMS_SIM_STATS_DUMP_HH
 
 #include <string>
+#include <vector>
 
 #include "sim/machine.hh"
 
 namespace califorms
 {
+
+/** One named statistic. */
+struct StatEntry
+{
+    std::string name;
+    double value = 0;
+    const char *desc = "";
+};
+
+/** The memory-system counters under their canonical dump names
+ *  (l1d.*, l2.*, l3.*, dram.*, califorms.*). */
+std::vector<StatEntry> memStatEntries(const MemSysStats &mem);
 
 /** Render all machine statistics in a flat, diffable format. */
 std::string dumpStats(const Machine &machine);

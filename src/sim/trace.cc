@@ -114,19 +114,40 @@ readTrace(std::istream &is)
         throw std::runtime_error("trace line " + std::to_string(lineno) +
                                  ": " + why);
     };
+    auto checkSize = [&](unsigned size) {
+        if (size == 0 || size > 8)
+            fail("bad access size " + std::to_string(size));
+    };
+    // Anything after a well-formed op must be the op's own optional
+    // flag; unknown trailing tokens are rejected rather than silently
+    // dropped so a corrupted trace cannot quietly replay differently.
+    auto expectEnd = [&](std::istringstream &ss) {
+        std::string extra;
+        if (ss >> extra)
+            fail("trailing junk '" + extra + "'");
+    };
     while (std::getline(is, line)) {
         ++lineno;
         std::istringstream ss(line);
         std::string tag;
         if (!(ss >> tag) || tag[0] == '#')
             continue;
+        // Every operand in the format is unsigned; istream extraction
+        // would silently wrap a negative number modulo 2^N, replaying
+        // a corrupted trace differently instead of rejecting it.
+        if (line.find('-') != std::string::npos)
+            fail("negative operand");
         if (tag == "L") {
             Addr addr;
             unsigned size;
             std::string dep;
             if (!(ss >> std::hex >> addr >> std::dec >> size))
                 fail("malformed load");
-            bool is_dep = static_cast<bool>(ss >> dep) && dep == "dep";
+            checkSize(size);
+            const bool is_dep = static_cast<bool>(ss >> dep);
+            if (is_dep && dep != "dep")
+                fail("trailing junk '" + dep + "'");
+            expectEnd(ss);
             trace.push_back(TraceOp::load(addr, size, is_dep));
         } else if (tag == "S") {
             Addr addr;
@@ -135,18 +156,24 @@ readTrace(std::istream &is)
             if (!(ss >> std::hex >> addr >> std::dec >> size >>
                   std::hex >> value))
                 fail("malformed store");
+            checkSize(size);
+            expectEnd(ss);
             trace.push_back(TraceOp::store(addr, size, value));
         } else if (tag == "C") {
             CformOp op;
             std::string nt;
             if (!(ss >> std::hex >> op.lineAddr >> op.setBits >> op.mask))
                 fail("malformed cform");
-            op.nonTemporal = static_cast<bool>(ss >> nt) && nt == "nt";
+            op.nonTemporal = static_cast<bool>(ss >> nt);
+            if (op.nonTemporal && nt != "nt")
+                fail("trailing junk '" + nt + "'");
+            expectEnd(ss);
             trace.push_back(TraceOp::cformOp(op));
         } else if (tag == "X") {
             std::uint32_t ops;
             if (!(ss >> std::dec >> ops))
                 fail("malformed compute");
+            expectEnd(ss);
             trace.push_back(TraceOp::compute(ops));
         } else {
             fail("unknown op '" + tag + "'");

@@ -1,0 +1,157 @@
+/**
+ * @file test_report.cc
+ * Campaign report tests, including the golden-output test: the JSON
+ * for a fixed --quick-sized campaign must match the checked-in
+ * expectation byte for byte (timing omitted — it is the one
+ * non-deterministic part of a report). Regenerate the golden file
+ * after an intentional schema or simulator change with:
+ *
+ *   CALIFORMS_REGEN_GOLDEN=1 ./test_report
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "exp/report.hh"
+
+#ifndef CALIFORMS_GOLDEN_DIR
+#error "build must define CALIFORMS_GOLDEN_DIR"
+#endif
+
+namespace califorms
+{
+namespace
+{
+
+exp::CampaignSpec
+goldenSpec()
+{
+    exp::CampaignSpec spec;
+    spec.name = "golden_quick";
+    spec.suite = {&findBenchmark("mcf")};
+    spec.variants = {
+        {"base", InsertionPolicy::None, 0, 0, false, false, {}},
+        {"full/3 CFORM", InsertionPolicy::Full, 3, 0, true, true, {}},
+    };
+    spec.layoutSeeds = {1000, 1001};
+    spec.base.scale = 0.05;
+    return spec;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(CALIFORMS_GOLDEN_DIR) + "/campaign_quick.json";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(ReportGolden, JsonMatchesCheckedInExpectation)
+{
+    const auto result = exp::runCampaign(goldenSpec(), 2);
+    exp::ReportTiming timing;
+    timing.include = false;
+    const std::string json = exp::campaignJson(result, timing);
+
+    if (std::getenv("CALIFORMS_REGEN_GOLDEN")) {
+        exp::writeReportFile(goldenPath(), json);
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+    const std::string expected = slurp(goldenPath());
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << goldenPath()
+        << " (run with CALIFORMS_REGEN_GOLDEN=1 to create it)";
+    EXPECT_EQ(json, expected);
+}
+
+TEST(Report, TimingIsSegregatedAndOptional)
+{
+    const auto result = exp::runCampaign(goldenSpec(), 1);
+    exp::ReportTiming with;
+    with.jobs = 4;
+    with.elapsedMs = 12.5;
+    exp::ReportTiming without;
+    without.include = false;
+
+    const std::string a = exp::campaignJson(result, with);
+    const std::string b = exp::campaignJson(result, without);
+    EXPECT_NE(a.find("\"timing\": {\"jobs\": 4, \"elapsedMs\": 12.5}"),
+              std::string::npos);
+    EXPECT_EQ(b.find("\"timing\""), std::string::npos);
+    // Stripping the timing line reduces a to b: nothing else differs.
+    std::string stripped;
+    std::istringstream lines(a);
+    for (std::string line; std::getline(lines, line);)
+        if (line.find("\"timing\"") == std::string::npos)
+            stripped += line + "\n";
+    EXPECT_EQ(stripped, b);
+}
+
+TEST(Report, JsonIsJobCountInvariant)
+{
+    exp::ReportTiming timing;
+    timing.include = false;
+    const std::string serial =
+        exp::campaignJson(exp::runCampaign(goldenSpec(), 1), timing);
+    const std::string parallel =
+        exp::campaignJson(exp::runCampaign(goldenSpec(), 8), timing);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Report, CsvHasOneRowPerRun)
+{
+    const auto result = exp::runCampaign(goldenSpec(), 2);
+    const std::string csv = exp::campaignCsv(result);
+    std::size_t lines = 0;
+    for (const char c : csv)
+        lines += c == '\n';
+    // header + base(1 seed) + full/3(2 seeds)
+    EXPECT_EQ(lines, 4u);
+    EXPECT_EQ(csv.find("benchmark,variant,policy,maxSpan,fixedSpan,"
+                       "layoutSeed,cycles"),
+              0u);
+    EXPECT_NE(csv.find("mcf,full/3 CFORM,full,3,0,1001,"),
+              std::string::npos);
+}
+
+TEST(Report, CsvQuotesHostileLabels)
+{
+    exp::CampaignSpec spec = goldenSpec();
+    spec.variants[1].label = "a,b\"c";
+    const auto result = exp::runCampaign(spec, 1);
+    const std::string csv = exp::campaignCsv(result);
+    // RFC 4180: the field is quoted and the embedded quote doubled,
+    // so the row count and column count survive hostile labels.
+    EXPECT_NE(csv.find("mcf,\"a,b\"\"c\",full,3,"), std::string::npos);
+}
+
+TEST(Report, JsonEscapesLabels)
+{
+    exp::CampaignSpec spec = goldenSpec();
+    spec.variants[1].label = "a\"b\\c\nd";
+    const auto result = exp::runCampaign(spec, 1);
+    exp::ReportTiming timing;
+    timing.include = false;
+    const std::string json = exp::campaignJson(result, timing);
+    EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(Report, WriteFileRejectsBadPath)
+{
+    EXPECT_THROW(
+        exp::writeReportFile("/nonexistent-dir/x/report.json", "{}"),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace califorms

@@ -83,6 +83,111 @@ TEST(TraceText, CommentsAndBlanksIgnored)
     EXPECT_EQ(trace[1].computeOps, 5u);
 }
 
+/** Fuzz-style variant of randomTrace: mixed access sizes, dep flags,
+ *  non-temporal CFORMs, zero-compute blocks. */
+Trace
+fuzzTrace(Rng &rng, std::size_t n)
+{
+    static const unsigned sizes[] = {1, 2, 4, 8};
+    Trace trace;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr addr = rng.next() & 0xffff'ffff'fff8ull;
+        switch (rng.nextBelow(4)) {
+          case 0:
+            trace.push_back(TraceOp::load(
+                addr, sizes[rng.nextBelow(4)], rng.chance(0.5)));
+            break;
+          case 1:
+            trace.push_back(TraceOp::store(
+                addr, sizes[rng.nextBelow(4)], rng.next()));
+            break;
+          case 2: {
+            CformOp op;
+            op.lineAddr = lineBase(addr);
+            op.setBits = rng.next() & 0xff;
+            op.mask = rng.next() & 0xff;
+            op.nonTemporal = rng.chance(0.3);
+            trace.push_back(TraceOp::cformOp(op));
+            break;
+          }
+          default:
+            trace.push_back(TraceOp::compute(
+                static_cast<std::uint32_t>(rng.nextBelow(1000))));
+        }
+    }
+    return trace;
+}
+
+TEST(TraceTextFuzz, SerializeIsAFixedPoint)
+{
+    // random trace -> text -> parse -> text must reproduce the first
+    // text exactly: the serializer emits canonical form and the parser
+    // loses nothing.
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        Rng rng(seed);
+        const Trace trace = fuzzTrace(rng, 100 + rng.nextBelow(200));
+        std::stringstream first;
+        writeTrace(first, trace);
+        const Trace parsed = readTrace(first);
+        ASSERT_EQ(parsed.size(), trace.size()) << "seed " << seed;
+        std::stringstream second;
+        writeTrace(second, parsed);
+        EXPECT_EQ(second.str(), first.str()) << "seed " << seed;
+    }
+}
+
+TEST(TraceTextFuzz, MalformedLinesRejectedWithoutCrashing)
+{
+    const char *const malformed[] = {
+        "L",                        // missing operands
+        "L zz 8",                   // bad address
+        "L 1000",                   // missing size
+        "L 1000 0",                 // zero access size
+        "L 1000 9",                 // oversized access
+        "L 1000 8 junk",            // unknown trailing token
+        "L 1000 8 dep junk",        // junk after the dep flag
+        "S 1000 8",                 // store without a value
+        "S 1000 99 5",              // oversized store
+        "S 1000 8 5 extra",         // trailing junk
+        "C 1000 ff",                // cform missing the mask
+        "C 1000 ff f0 xx",          // bad nt flag
+        "C 1000 ff f0 nt nt",       // junk after the nt flag
+        "X",                        // compute without a count
+        "X banana",                 // non-numeric count
+        "X 99999999999999999999",   // count overflows uint32
+        "X -1",                     // negative count must not wrap
+        "S 1000 -1 5",              // negative size must not wrap
+        "C 1000 -ff f0",            // negative set bits
+        "L -1000 8",                // negative address
+        "Q what",                   // unknown op
+        "LL 1000 8",                // unknown multi-char op
+    };
+    for (const char *input : malformed) {
+        std::stringstream ss(std::string(input) + "\n");
+        EXPECT_THROW(readTrace(ss), std::runtime_error) << input;
+    }
+}
+
+TEST(TraceTextFuzz, GarbageBytesRejectedOrIgnoredButNeverCrash)
+{
+    // Pure byte fuzz: whatever the parser does, it must either parse
+    // or throw std::runtime_error — never crash or hang.
+    Rng rng(0xf22);
+    for (int round = 0; round < 200; ++round) {
+        std::string blob;
+        const std::size_t len = rng.nextBelow(160);
+        for (std::size_t i = 0; i < len; ++i)
+            blob += static_cast<char>(rng.nextBelow(128));
+        std::stringstream ss(blob);
+        try {
+            const Trace t = readTrace(ss);
+            (void)t;
+        } catch (const std::runtime_error &) {
+            // expected for most inputs
+        }
+    }
+}
+
 TEST(TraceText, BadInputReportsLine)
 {
     std::stringstream ss("L 1000 8\nQ what\n");

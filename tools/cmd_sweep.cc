@@ -1,11 +1,12 @@
 /**
  * @file cmd_sweep.cc
- * `califorms sweep`: the policy harness. Iterates insertion policies
- * and span sizes over one benchmark (or the software-eval suite),
- * averages cycles over layout seeds, and prints slowdown relative to
- * the uninstrumented baseline — the Figure 11/12 methodology, but
+ * `califorms sweep`: the policy harness. Expands a policy x span grid
+ * over one benchmark (or the software-eval suite) into a campaign,
+ * executes it on the deterministic parallel engine (--jobs), averages
+ * cycles over layout seeds, and prints slowdown relative to the
+ * uninstrumented baseline — the Figure 11/12 methodology, but
  * composable over any policy x span grid instead of fixed per-figure
- * configurations.
+ * configurations. --json/--csv record the machine-readable report.
  */
 
 #include "cli.hh"
@@ -14,6 +15,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "exp/campaign.hh"
+#include "exp/report.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
 
@@ -36,28 +39,11 @@ usage()
         "  --maxspans L    comma list of max span sizes (default 3,5,7)\n"
         "  --scale S       workload iteration multiplier (default 0.25)\n"
         "  --seeds N       layout seeds per configuration (default 2)\n"
+        "  --jobs N        parallel campaign workers; 0 = all cores "
+        "(default 1)\n"
+        "  --json FILE     write the campaign report as JSON\n"
+        "  --csv FILE      write one CSV row per run\n"
         "  --extra-latency add one cycle to L2 and L3");
-}
-
-/** Mean cycles of @p bench under @p config over @p seeds layouts. */
-double
-meanCycles(const SpecBenchmark &bench, RunConfig config, unsigned seeds)
-{
-    double sum = 0;
-    for (unsigned s = 0; s < seeds; ++s) {
-        config.layoutSeed = 1000 + s;
-        sum += static_cast<double>(runBenchmark(bench, config).cycles);
-    }
-    return sum / seeds;
-}
-
-/** True for policies whose layout depends on the span size. */
-bool
-usesSpans(InsertionPolicy p)
-{
-    return p == InsertionPolicy::Full ||
-           p == InsertionPolicy::Intelligent ||
-           p == InsertionPolicy::FullFixed;
 }
 
 } // namespace
@@ -73,6 +59,8 @@ cmdSweep(int argc, char **argv)
     RunConfig base;
     base.scale = 0.25;
     unsigned seeds = 2;
+    unsigned jobs = 1;
+    std::string json_path, csv_path;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -105,6 +93,13 @@ cmdSweep(int argc, char **argv)
                 std::atoi(flagValue(argc, argv, i)));
             if (seeds == 0)
                 seeds = 1;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::atoi(flagValue(argc, argv, i)));
+        } else if (arg == "--json") {
+            json_path = flagValue(argc, argv, i);
+        } else if (arg == "--csv") {
+            csv_path = flagValue(argc, argv, i);
         } else if (arg == "--extra-latency") {
             base.machine.mem.extraL2L3Latency = 1;
         } else if (arg == "--help") {
@@ -118,41 +113,57 @@ cmdSweep(int argc, char **argv)
         }
     }
 
-    std::vector<const SpecBenchmark *> suite;
+    exp::CampaignSpec spec;
+    spec.name = "sweep";
+    spec.base = base;
+    spec.layoutSeeds = exp::CampaignSpec::seedRange(seeds);
     if (bench_name == "all") {
         for (const auto &b : spec2006Suite())
             if (b.inSoftwareEval)
-                suite.push_back(&b);
+                spec.suite.push_back(&b);
     } else {
-        suite.push_back(&findBenchmark(bench_name));
+        spec.suite.push_back(&findBenchmark(bench_name));
     }
+
+    // Variant 0 is always the baseline the slowdown column divides by,
+    // even when the user's --policies list omits 'none'; the row order
+    // below follows the user's list.
+    spec.variants = {{"none", InsertionPolicy::None, 0, 0,
+                      std::nullopt, false, {}}};
+    struct Row
+    {
+        std::size_t variant;
+        std::size_t span; //!< 0 = span axis not applicable
+    };
+    std::vector<Row> rows;
+    for (const InsertionPolicy policy : policies) {
+        if (policy == InsertionPolicy::None) {
+            rows.push_back({0, 0});
+            continue;
+        }
+        const auto expanded = exp::CampaignSpec::crossPolicySpans(
+            {policy}, maxspans);
+        for (const exp::Variant &v : expanded) {
+            rows.push_back({spec.variants.size(), v.maxSpan});
+            spec.variants.push_back(v);
+        }
+    }
+
+    const exp::CampaignResult result = exp::runCampaignWithReports(
+        spec, jobs, json_path, csv_path);
 
     TextTable table({"benchmark", "policy", "maxspan", "cycles",
                      "slowdown"});
-    for (const SpecBenchmark *bench : suite) {
-        RunConfig config = base;
-        config.policy = InsertionPolicy::None;
-        const double baseline = meanCycles(*bench, config, seeds);
-
-        for (const InsertionPolicy policy : policies) {
-            config.policy = policy;
-            const std::vector<std::size_t> spans =
-                usesSpans(policy) ? maxspans
-                                  : std::vector<std::size_t>{0};
-            for (const std::size_t span : spans) {
-                if (span) {
-                    config.policyParams.maxSpan = span;
-                    config.policyParams.fixedSpan = span;
-                }
-                const double cycles =
-                    policy == InsertionPolicy::None
-                        ? baseline
-                        : meanCycles(*bench, config, seeds);
-                table.addRow({bench->name, policyName(policy),
-                              span ? std::to_string(span) : "-",
-                              TextTable::num(cycles, 0),
-                              TextTable::pct(cycles / baseline - 1.0)});
-            }
+    for (std::size_t b = 0; b < spec.suite.size(); ++b) {
+        const double baseline = result.meanCycles(b, 0);
+        for (const Row &row : rows) {
+            const double cycles = result.meanCycles(b, row.variant);
+            table.addRow(
+                {spec.suite[b]->name,
+                 policyName(spec.variants[row.variant].policy),
+                 row.span ? std::to_string(row.span) : "-",
+                 TextTable::num(cycles, 0),
+                 TextTable::pct(cycles / baseline - 1.0)});
         }
     }
     std::printf("%s", table.render().c_str());

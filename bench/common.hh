@@ -24,6 +24,7 @@
 
 #include "exp/campaign.hh"
 #include "exp/report.hh"
+#include "sim/params.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
 
@@ -39,6 +40,31 @@ struct Options
     bool quick = false;   //!< --quick: one seed, small scale
     std::string jsonPath; //!< --json FILE: machine-readable report
     std::string csvPath;  //!< --csv FILE: one row per run
+
+    // Memory-hierarchy overrides, applied to the campaign base config
+    // so every harness can be re-run on a shallower/differently sized
+    // hierarchy without per-harness plumbing.
+    unsigned levels = 0;  //!< --levels N: 1..3; 0 = keep the default
+    long l2Kb = -1;       //!< --l2-kb N: L2 KB (0 disables); -1 = keep
+    long llcKb = -1;      //!< --llc-kb N: LLC KB (0 disables); -1 = keep
+    long wbQueue = -1;    //!< --wb-queue N: WB queue depth; -1 = keep
+
+    /** Strict non-negative integer parse: exits on junk rather than
+     *  letting atol turn a typo into 0 ("0 disables the L2"). */
+    static long
+    parseCount(const char *flag, const char *text, long max)
+    {
+        const std::string s = text;
+        if (s.empty() ||
+            s.find_first_not_of("0123456789") != std::string::npos ||
+            std::atol(s.c_str()) > max) {
+            std::fprintf(stderr,
+                         "%s expects an integer in [0, %ld], got '%s'\n",
+                         flag, max, text);
+            std::exit(2);
+        }
+        return std::atol(s.c_str());
+    }
 
     static Options
     parse(int argc, char **argv)
@@ -66,10 +92,30 @@ struct Options
             } else if (std::strcmp(argv[i], "--csv") == 0 &&
                        i + 1 < argc) {
                 opt.csvPath = argv[++i];
+            } else if (std::strcmp(argv[i], "--levels") == 0 &&
+                       i + 1 < argc) {
+                opt.levels = static_cast<unsigned>(
+                    std::atoi(argv[++i]));
+                if (opt.levels < 1 || opt.levels > 3) {
+                    std::fprintf(stderr,
+                                 "--levels must be 1..3\n");
+                    std::exit(2);
+                }
+            } else if (std::strcmp(argv[i], "--l2-kb") == 0 &&
+                       i + 1 < argc) {
+                opt.l2Kb = parseCount("--l2-kb", argv[++i], 1 << 20);
+            } else if (std::strcmp(argv[i], "--llc-kb") == 0 &&
+                       i + 1 < argc) {
+                opt.llcKb = parseCount("--llc-kb", argv[++i], 1 << 20);
+            } else if (std::strcmp(argv[i], "--wb-queue") == 0 &&
+                       i + 1 < argc) {
+                opt.wbQueue = parseCount("--wb-queue", argv[++i], 512);
             } else if (std::strcmp(argv[i], "--help") == 0) {
                 std::printf("usage: %s [--scale S] [--seeds N] "
                             "[--jobs N] [--quick]\n"
-                            "          [--json FILE] [--csv FILE]\n",
+                            "          [--json FILE] [--csv FILE]\n"
+                            "          [--levels N] [--l2-kb N] "
+                            "[--llc-kb N] [--wb-queue N]\n",
                             argv[0]);
                 std::exit(0);
             }
@@ -79,6 +125,20 @@ struct Options
         if (opt.seeds == 0)
             opt.seeds = 1;
         return opt;
+    }
+
+    /** Apply the hierarchy overrides to a campaign base config. */
+    void
+    applyHierarchy(MemSysParams &mem) const
+    {
+        if (levels)
+            mem.levels = levels;
+        if (l2Kb >= 0)
+            mem.l2Size = static_cast<std::size_t>(l2Kb) * 1024;
+        if (llcKb >= 0)
+            mem.l3Size = static_cast<std::size_t>(llcKb) * 1024;
+        if (wbQueue >= 0)
+            mem.wbQueueEntries = static_cast<unsigned>(wbQueue);
     }
 
     /** The conventional layout-seed list (1000, 1001, ...). */
@@ -139,6 +199,7 @@ runCampaign(const Options &opt, exp::CampaignSpec spec)
 {
     spec.base.scale = opt.scale;
     spec.layoutSeeds = opt.layoutSeeds();
+    opt.applyHierarchy(spec.base.machine.mem);
     try {
         return exp::runCampaignWithReports(spec, opt.jobs,
                                            opt.jsonPath, opt.csvPath);

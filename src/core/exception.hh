@@ -55,16 +55,16 @@ CaliformsException::describe()  const
                                                 : "cform";
     const char *r = "";
     switch (reason) {
-      case FaultReason::LoadSecurityByte:
+    case FaultReason::LoadSecurityByte:
         r = "load touched security byte";
         break;
-      case FaultReason::StoreSecurityByte:
+    case FaultReason::StoreSecurityByte:
         r = "store touched security byte";
         break;
-      case FaultReason::CformSetOnSecurity:
+    case FaultReason::CformSetOnSecurity:
         r = "CFORM set on existing security byte";
         break;
-      case FaultReason::CformUnsetRegular:
+    case FaultReason::CformUnsetRegular:
         r = "CFORM unset on regular byte";
         break;
     }

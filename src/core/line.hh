@@ -71,13 +71,31 @@ struct BitVectorLine
 /**
  * L2+/memory resident line: encoded payload plus the single califormed
  * metadata bit (stored in spare ECC bits once in DRAM, Section 3).
+ *
+ * The decoded security mask is memoized alongside the machine state:
+ * the spill conversion already knows the mask it encoded, so carrying
+ * it lets the fill conversion and the timing model skip the header
+ * decode + sentinel scan (a pure simulator-speed cache, not part of
+ * the architectural line — it never affects results and is ignored by
+ * equality). Code that rebuilds @c raw by hand (swap-in, tests) simply
+ * leaves @c maskCached false and pays the full decode.
  */
 struct SentinelLine
 {
     LineData raw;
     bool califormed = false;
+    /** True when @c cachedMask mirrors the encoded metadata. */
+    bool maskCached = false;
+    /** Memoized decodeMask() result, valid iff @c maskCached. */
+    SecurityMask cachedMask = 0;
 
-    bool operator==(const SentinelLine &other) const = default;
+    bool
+    operator==(const SentinelLine &other) const
+    {
+        // The memo is a simulator-side cache; only the architectural
+        // state (payload + ECC bit) defines line identity.
+        return raw == other.raw && califormed == other.califormed;
+    }
 };
 
 } // namespace califorms

@@ -21,6 +21,15 @@
  * absent from the low 6 bits of every normal byte; with at least one
  * security byte there are at most 63 normal bytes, so a free pattern
  * always exists (the pigeonhole argument of Section 5.2).
+ *
+ * Implementation notes (this is the hierarchy's hottest path — every
+ * miss and write-back of a califormed line runs through it): the codec
+ * is allocation-free (fixed four-pair relocation map derived from the
+ * mask by bit iteration), the 4+ sentinel scan is branch-free SWAR over
+ * eight 64-bit lanes (the software analogue of the Figure 9 comparator
+ * bank), and spillLine memoizes the decoded mask in the SentinelLine so
+ * fillLine/decodeMask skip the header decode entirely on the common
+ * spill-then-fill round trip.
  */
 
 #ifndef CALIFORMS_CORE_SENTINEL_HH
@@ -60,7 +69,8 @@ BitVectorLine fillLine(const SentinelLine &line);
  * can be recovered from the first 4 bytes plus, for the 4+ case, a scan
  * of whatever flits have arrived. This helper decodes only the mask
  * without touching data relocation; used by the timing model and tested
- * against fillLine.
+ * against fillLine. Served from the decode-once memo when the line came
+ * out of spillLine.
  */
 SecurityMask decodeMask(const SentinelLine &line);
 

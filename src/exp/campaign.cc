@@ -59,6 +59,22 @@ CampaignSpec::crossPolicySpans(
     return variants;
 }
 
+std::vector<Variant>
+CampaignSpec::crossLevels(const std::vector<Variant> &variants,
+                          const std::vector<unsigned> &levels)
+{
+    std::vector<Variant> out;
+    for (const unsigned depth : levels) {
+        for (const Variant &base : variants) {
+            Variant v = base;
+            v.label += "@L" + std::to_string(depth);
+            v.levels = depth;
+            out.push_back(std::move(v));
+        }
+    }
+    return out;
+}
+
 std::vector<RunUnit>
 CampaignSpec::expand() const
 {
@@ -86,6 +102,13 @@ CampaignSpec::expand() const
                         variant.fixedSpan;
                 if (variant.cform)
                     unit.config.withCform(*variant.cform);
+                if (variant.levels)
+                    unit.config.machine.mem.levels = variant.levels;
+                if (variant.l2Kb)
+                    unit.config.machine.mem.l2Size = *variant.l2Kb * 1024;
+                if (variant.llcKb)
+                    unit.config.machine.mem.l3Size =
+                        *variant.llcKb * 1024;
                 unit.config.layoutSeed = layoutSeeds[s];
                 if (variant.tweak)
                     variant.tweak(unit.config);

@@ -33,6 +33,19 @@ namespace califorms::exp
  */
 struct Variant
 {
+    Variant() = default;
+    /** The classic seven-field shape every harness spells out; the
+     *  hierarchy axis fields start at their keep-the-base defaults. */
+    Variant(std::string label_, InsertionPolicy policy_,
+            std::size_t maxSpan_ = 0, std::size_t fixedSpan_ = 0,
+            std::optional<bool> cform_ = std::nullopt,
+            bool randomized_ = true,
+            std::function<void(RunConfig &)> tweak_ = {})
+        : label(std::move(label_)), policy(policy_), maxSpan(maxSpan_),
+          fixedSpan(fixedSpan_), cform(cform_), randomized(randomized_),
+          tweak(std::move(tweak_))
+    {}
+
     std::string label;
     InsertionPolicy policy = InsertionPolicy::None;
     std::size_t maxSpan = 0;   //!< 0 = keep base PolicyParams::maxSpan
@@ -46,6 +59,12 @@ struct Variant
      *  (L1 format, extra latency, heap parameters, ...). Applied last,
      *  during expand(), never concurrently. */
     std::function<void(RunConfig &)> tweak;
+
+    // Hierarchy grid axis (califorms-campaign/v2): overrides of the
+    // base machine's memory hierarchy, applied before tweak.
+    unsigned levels = 0;              //!< 0 = keep the base depth
+    std::optional<std::size_t> l2Kb;  //!< L2 capacity in KB; 0 disables
+    std::optional<std::size_t> llcKb; //!< LLC capacity in KB; 0 disables
 };
 
 /** True for policies whose layout depends on the span-size axis. */
@@ -85,6 +104,17 @@ struct CampaignSpec
     static std::vector<Variant>
     crossPolicySpans(const std::vector<InsertionPolicy> &policies,
                      const std::vector<std::size_t> &spans);
+
+    /**
+     * Cross @p variants with a hierarchy-depth axis: one copy of every
+     * variant per entry of @p levels, labelled "label@L<n>", levels-
+     * major (all variants at the first depth, then the next). A single-
+     * entry axis still rewrites the labels — callers that want the
+     * plain variants simply do not cross.
+     */
+    static std::vector<Variant>
+    crossLevels(const std::vector<Variant> &variants,
+                const std::vector<unsigned> &levels);
 
     /** Flatten to units, benchmark-major then variant then seed. */
     std::vector<RunUnit> expand() const;

@@ -44,19 +44,19 @@ jsonString(const std::string &s)
     std::string out = "\"";
     for (const char c : s) {
         switch (c) {
-          case '"':
+        case '"':
             out += "\\\"";
             break;
-          case '\\':
+        case '\\':
             out += "\\\\";
             break;
-          case '\n':
+        case '\n':
             out += "\\n";
             break;
-          case '\t':
+        case '\t':
             out += "\\t";
             break;
-          default:
+        default:
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
                 std::snprintf(buf, sizeof buf, "\\u%04x", c);
@@ -94,14 +94,17 @@ csvField(const std::string &s)
 
 void
 runJson(std::ostringstream &os, const RunUnit &unit,
-        const RunResult &r, const CampaignSpec &spec)
+        const RunResult &r, const CampaignSpec &spec,
+        ReportSchema schema)
 {
     const Variant &variant = spec.variants[unit.variantIndex];
     os << "    {\"benchmark\": " << jsonString(r.benchmark)
        << ", \"variant\": " << jsonString(variant.label)
        << ", \"variantIndex\": " << unit.variantIndex
-       << ", \"layoutSeed\": " << u64(unit.config.layoutSeed)
-       << ",\n     \"cycles\": " << u64(r.cycles)
+       << ", \"layoutSeed\": " << u64(unit.config.layoutSeed);
+    if (schema == ReportSchema::V2)
+        os << ", \"levels\": " << unit.config.machine.mem.levels;
+    os << ",\n     \"cycles\": " << u64(r.cycles)
        << ", \"instructions\": " << u64(r.instructions)
        << ", \"ipc\": "
        << jsonNumber(r.cycles ? static_cast<double>(r.instructions) /
@@ -109,7 +112,10 @@ runJson(std::ostringstream &os, const RunUnit &unit,
                               : 0.0)
        << ",\n     \"mem\": {";
     bool first = true;
-    for (const StatEntry &e : memStatEntries(r.mem)) {
+    const StatSchema stat_schema = schema == ReportSchema::V1
+                                       ? StatSchema::V1
+                                       : StatSchema::V2;
+    for (const StatEntry &e : memStatEntries(r.mem, stat_schema)) {
         os << (first ? "" : ", ") << jsonString(e.name) << ": "
            << jsonNumber(e.value);
         first = false;
@@ -128,14 +134,31 @@ runJson(std::ostringstream &os, const RunUnit &unit,
 } // namespace
 
 std::string
-campaignJson(const CampaignResult &result, const ReportTiming &timing)
+campaignJson(const CampaignResult &result, const ReportTiming &timing,
+             ReportSchema schema)
 {
     const CampaignSpec &spec = result.spec;
     std::ostringstream os;
     os << "{\n";
-    os << "  \"schema\": \"califorms-campaign/v1\",\n";
+    os << "  \"schema\": \"califorms-campaign/"
+       << (schema == ReportSchema::V1 ? "v1" : "v2") << "\",\n";
     os << "  \"campaign\": " << jsonString(spec.name) << ",\n";
     os << "  \"scale\": " << jsonNumber(spec.base.scale) << ",\n";
+    if (schema == ReportSchema::V2) {
+        const MemSysParams &mem = spec.base.machine.mem;
+        os << "  \"hierarchy\": {\"levels\": " << mem.levels
+           << ", \"l1KB\": " << mem.l1Size / 1024
+           << ", \"l2KB\": " << mem.l2Size / 1024
+           << ", \"llcKB\": " << mem.l3Size / 1024
+           << ",\n                \"l1Latency\": " << mem.l1Latency
+           << ", \"l2Latency\": " << mem.l2Latency
+           << ", \"llcLatency\": " << mem.l3Latency
+           << ", \"dramLatency\": " << mem.dramLatency
+           << ",\n                \"fillConvLatency\": "
+           << mem.fillConvLatency
+           << ", \"spillConvLatency\": " << mem.spillConvLatency
+           << ", \"wbQueueEntries\": " << mem.wbQueueEntries << "},\n";
+    }
     os << "  \"layoutSeeds\": [";
     for (std::size_t i = 0; i < spec.layoutSeeds.size(); ++i)
         os << (i ? ", " : "") << u64(spec.layoutSeeds[i]);
@@ -152,8 +175,25 @@ campaignJson(const CampaignResult &result, const ReportTiming &timing)
            << ", \"maxSpan\": " << v.maxSpan
            << ", \"fixedSpan\": " << v.fixedSpan << ", \"cform\": "
            << (v.cform ? (*v.cform ? "true" : "false") : "null")
-           << ", \"randomized\": " << (v.randomized ? "true" : "false")
-           << "}" << (i + 1 < spec.variants.size() ? "," : "") << "\n";
+           << ", \"randomized\": " << (v.randomized ? "true" : "false");
+        if (schema == ReportSchema::V2) {
+            os << ", \"levels\": ";
+            if (v.levels)
+                os << v.levels;
+            else
+                os << "null";
+            os << ", \"l2KB\": ";
+            if (v.l2Kb)
+                os << *v.l2Kb;
+            else
+                os << "null";
+            os << ", \"llcKB\": ";
+            if (v.llcKb)
+                os << *v.llcKb;
+            else
+                os << "null";
+        }
+        os << "}" << (i + 1 < spec.variants.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
     if (timing.include) {
@@ -163,7 +203,7 @@ campaignJson(const CampaignResult &result, const ReportTiming &timing)
     }
     os << "  \"runs\": [\n";
     for (std::size_t i = 0; i < result.units.size(); ++i) {
-        runJson(os, result.units[i], result.results[i], spec);
+        runJson(os, result.units[i], result.results[i], spec, schema);
         os << (i + 1 < result.units.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
@@ -174,11 +214,14 @@ std::string
 campaignCsv(const CampaignResult &result)
 {
     std::ostringstream os;
+    // v2 columns are appended after the v1 set so positional consumers
+    // of the old header keep working.
     os << "benchmark,variant,policy,maxSpan,fixedSpan,layoutSeed,cycles,"
           "instructions,l1dMisses,l2Misses,l3Misses,dramAccesses,"
           "spills,fills,cformOps,securityFaults,heapAllocs,"
           "heapCformsIssued,peakHeapBytes,exceptionsDelivered,"
-          "exceptionsSuppressed\n";
+          "exceptionsSuppressed,levels,fillConvCycles,spillConvCycles,"
+          "wbqHits\n";
     for (std::size_t i = 0; i < result.units.size(); ++i) {
         const RunUnit &unit = result.units[i];
         const RunResult &r = result.results[i];
@@ -195,7 +238,11 @@ campaignCsv(const CampaignResult &result)
            << ',' << u64(r.heap.cformsIssued) << ','
            << u64(r.heap.peakHeapBytes) << ','
            << u64(r.exceptionsDelivered) << ','
-           << u64(r.exceptionsSuppressed) << '\n';
+           << u64(r.exceptionsSuppressed) << ','
+           << unit.config.machine.mem.levels << ','
+           << u64(r.mem.fillConvCycles) << ','
+           << u64(r.mem.spillConvCycles) << ','
+           << u64(r.mem.wbHits) << '\n';
     }
     return os.str();
 }

@@ -30,9 +30,24 @@ struct ReportTiming
     double elapsedMs = 0;
 };
 
+/**
+ * Report generation. V2 ("califorms-campaign/v2") adds the hierarchy
+ * configuration object, the per-variant hierarchy axis fields and the
+ * conversion / write-back-queue counters. V1 emits the exact
+ * "califorms-campaign/v1" byte stream older consumers parse — for a
+ * campaign that leaves the hierarchy axis untouched it is identical to
+ * what the pre-hierarchy code produced.
+ */
+enum class ReportSchema
+{
+    V1,
+    V2,
+};
+
 /** Render the whole campaign as JSON. */
 std::string campaignJson(const CampaignResult &result,
-                         const ReportTiming &timing = {});
+                         const ReportTiming &timing = {},
+                         ReportSchema schema = ReportSchema::V2);
 
 /** Render the runs as CSV (header + one row per run). */
 std::string campaignCsv(const CampaignResult &result);

@@ -39,20 +39,20 @@ TypePtr
 drawScalar(Rng &rng)
 {
     switch (rng.nextBelow(10)) {
-      case 0:
-      case 1:
+    case 0:
+    case 1:
         return Type::charType();
-      case 2:
+    case 2:
         return Type::shortType();
-      case 3:
-      case 4:
-      case 5:
+    case 3:
+    case 4:
+    case 5:
         return Type::intType();
-      case 6:
+    case 6:
         return Type::longType();
-      case 7:
+    case 7:
         return Type::floatType();
-      default:
+    default:
         return Type::doubleType();
     }
 }

@@ -12,15 +12,15 @@ std::string
 policyName(InsertionPolicy policy)
 {
     switch (policy) {
-      case InsertionPolicy::None:
+    case InsertionPolicy::None:
         return "none";
-      case InsertionPolicy::Opportunistic:
+    case InsertionPolicy::Opportunistic:
         return "opportunistic";
-      case InsertionPolicy::Full:
+    case InsertionPolicy::Full:
         return "full";
-      case InsertionPolicy::Intelligent:
+    case InsertionPolicy::Intelligent:
         return "intelligent";
-      case InsertionPolicy::FullFixed:
+    case InsertionPolicy::FullFixed:
         return "full-fixed";
     }
     return "?";
@@ -67,15 +67,15 @@ SecureLayout
 LayoutTransformer::transform(const StructDef &def)
 {
     switch (policy_) {
-      case InsertionPolicy::None:
+    case InsertionPolicy::None:
         return transformNone(def);
-      case InsertionPolicy::Opportunistic:
+    case InsertionPolicy::Opportunistic:
         return transformOpportunistic(def);
-      case InsertionPolicy::Full:
+    case InsertionPolicy::Full:
         return transformSpaced(def, false, false);
-      case InsertionPolicy::Intelligent:
+    case InsertionPolicy::Intelligent:
         return transformSpaced(def, true, false);
-      case InsertionPolicy::FullFixed:
+    case InsertionPolicy::FullFixed:
         return transformSpaced(def, false, true);
     }
     throw std::logic_error("LayoutTransformer: unknown policy");

@@ -63,11 +63,11 @@ bool
 Type::overflowable() const
 {
     switch (kind_) {
-      case Kind::Array:
-      case Kind::Pointer:
-      case Kind::FunctionPointer:
+    case Kind::Array:
+    case Kind::Pointer:
+    case Kind::FunctionPointer:
         return true;
-      default:
+    default:
         return false;
     }
 }

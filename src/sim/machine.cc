@@ -58,17 +58,31 @@ describeParams(const MachineParams &params)
        << params.core.issueWidth << ", MLP " << params.core.mlp << "\n"
        << "L1 data     " << params.mem.l1Size / 1024 << "KB, "
        << params.mem.l1Ways << "-way, " << params.mem.l1Latency
-       << "-cycle latency\n"
-       << "L2 cache    " << params.mem.l2Size / 1024 << "KB, "
-       << params.mem.l2Ways << "-way, " << params.mem.l2Latency
-       << "-cycle latency\n"
-       << "L3 cache    " << params.mem.l3Size / (1024 * 1024) << "MB, "
-       << params.mem.l3Ways << "-way, " << params.mem.l3Latency
-       << "-cycle latency\n"
-       << "DRAM        " << params.mem.dramLatency << "-cycle latency\n";
+       << "-cycle latency\n";
+    if (params.mem.levels >= 2 && params.mem.l2Size)
+        os << "L2 cache    " << params.mem.l2Size / 1024 << "KB, "
+           << params.mem.l2Ways << "-way, " << params.mem.l2Latency
+           << "-cycle latency\n";
+    else
+        os << "L2 cache    disabled\n";
+    if (params.mem.levels >= 3 && params.mem.l3Size)
+        os << "LLC         " << params.mem.l3Size / 1024 << "KB, "
+           << params.mem.l3Ways << "-way, " << params.mem.l3Latency
+           << "-cycle latency\n";
+    else
+        os << "LLC         disabled\n";
+    os << "DRAM        " << params.mem.dramLatency << "-cycle latency\n";
     if (params.mem.extraL2L3Latency)
         os << "Extra L2/L3 latency: +" << params.mem.extraL2L3Latency
            << " cycle(s)\n";
+    if (params.mem.fillConvLatency || params.mem.spillConvLatency)
+        os << "Conversion  fill +" << params.mem.fillConvLatency
+           << ", spill +" << params.mem.spillConvLatency
+           << " cycle(s)\n";
+    if (params.mem.wbQueueEntries)
+        os << "WB queue    " << params.mem.wbQueueEntries
+           << " entries, hit latency " << params.mem.wbHitLatency
+           << "\n";
     return os.str();
 }
 

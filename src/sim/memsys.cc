@@ -12,90 +12,143 @@ namespace califorms
 MemorySystem::MemorySystem(const MemSysParams &params,
                            ExceptionUnit &exceptions)
     : params_(params), exceptions_(exceptions),
-      l1_(params.l1Size, params.l1Ways),
-      l2_(params.l2Size, params.l2Ways),
-      l3_(params.l3Size, params.l3Ways)
+      l1_(params.l1Size, params.l1Ways)
 {
+    if (params.levels < 1 || params.levels > 3)
+        throw std::invalid_argument("MemorySystem: levels must be 1..3");
+    if (params.levels >= 2 && params.l2Size)
+        below_.push_back(Level{
+            CacheArray<SentinelLine>(params.l2Size, params.l2Ways),
+            params.l2Latency, 2});
+    if (params.levels >= 3 && params.l3Size)
+        below_.push_back(Level{
+            CacheArray<SentinelLine>(params.l3Size, params.l3Ways),
+            params.l3Latency, 3});
 }
 
 Cycles
 MemorySystem::l2HitLatency() const
 {
-    return params_.l1Latency + params_.l2Latency +
+    if (below_.empty())
+        return params_.l1Latency + params_.dramLatency;
+    return params_.l1Latency + below_.front().latency +
            params_.extraL2L3Latency;
 }
 
 SentinelLine
-MemorySystem::fetchBelowL1(Addr line_addr, Cycles &latency)
+MemorySystem::fetchBelowL1(Addr line_addr, Cycles &latency, bool &dirty)
 {
-    latency += params_.l2Latency + params_.extraL2L3Latency;
-    if (SentinelLine *l2 = l2_.access(line_addr, false))
-        return *l2;
+    dirty = false;
 
-    latency += params_.l3Latency + params_.extraL2L3Latency;
+    // The write-back queue sits between the L1 and the rest of the
+    // hierarchy: a miss that matches a queued line pulls it straight
+    // back (victim-buffer hit; the queue held the only copy, so the
+    // refilled L1 line must stay dirty).
+    for (auto it = wbq_.begin(); it != wbq_.end(); ++it) {
+        if (it->lineAddr == line_addr) {
+            latency += params_.wbHitLatency;
+            ++stats_.wbHits;
+            SentinelLine line = it->line;
+            wbq_.erase(it);
+            dirty = true;
+            return line;
+        }
+    }
+
     SentinelLine line;
-    if (SentinelLine *l3 = l3_.access(line_addr, false)) {
-        line = *l3;
-    } else {
+    std::size_t hit = below_.size();
+    for (std::size_t k = 0; k < below_.size(); ++k) {
+        latency += below_[k].latency + params_.extraL2L3Latency;
+        if (SentinelLine *p = below_[k].array.access(line_addr, false)) {
+            line = *p;
+            hit = k;
+            break;
+        }
+    }
+    if (hit == below_.size()) {
         latency += params_.dramLatency;
         ++stats_.dramAccesses;
         line = memory_.readLine(line_addr);
-        // Fill L3 then L2 on the way up (mostly-inclusive hierarchy).
-        auto ev3 = l3_.insert(line_addr, line, false);
-        if (ev3.valid)
-            writeBackL3(ev3.lineAddr, ev3.line, ev3.dirty);
+        // The long DRAM service is the queue's drain window: one
+        // queued write-back rides the otherwise idle bus. Short L2/LLC
+        // hits give no such slack, so eviction-heavy traffic that
+        // stays on-chip genuinely pressures the queue (forced drains).
+        drainOneWriteBack();
     }
-    auto ev2 = l2_.insert(line_addr, line, false);
-    if (ev2.valid)
-        writeBackL2(ev2.lineAddr, ev2.line, ev2.dirty);
+    // Fill the levels above the hit on the way up, deepest first
+    // (mostly-inclusive hierarchy).
+    for (std::size_t j = hit; j-- > 0;) {
+        auto ev = below_[j].array.insert(line_addr, line, false);
+        if (ev.valid)
+            writeBackLevel(j, ev);
+    }
     return line;
 }
 
 BitVectorLine &
 MemorySystem::refillL1(Addr line_addr, Cycles &latency)
 {
-    const SentinelLine below = fetchBelowL1(line_addr, latency);
-    if (below.califormed)
+    bool dirty = false;
+    const SentinelLine below = fetchBelowL1(line_addr, latency, dirty);
+    if (below.califormed) {
         ++stats_.fills;
+        stats_.fillConvCycles += params_.fillConvLatency;
+        latency += params_.fillConvLatency;
+    }
     BitVectorLine line = fillLine(below);
 
     // Appendix A variants store the L1 line in a denser format; route
     // the fill through the corresponding codec (a functional identity,
     // exercising the encode/decode path under real traffic).
     switch (params_.l1Format) {
-      case L1Format::BitVector8B:
+    case L1Format::BitVector8B:
         break;
-      case L1Format::Cal4B:
+    case L1Format::Cal4B:
         line = decodeCal4B(encodeCal4B(line));
         break;
-      case L1Format::Cal1B:
+    case L1Format::Cal1B:
         line = decodeCal1B(encodeCal1B(line));
         break;
     }
 
-    auto ev = l1_.insert(line_addr, std::move(line), false);
+    auto ev = l1_.insert(line_addr, std::move(line), dirty);
     if (ev.valid)
-        writeBackL1(ev.lineAddr, ev.line, ev.dirty);
+        writeBackL1(ev.lineAddr, ev.line, ev.dirty, &latency);
 
     // Simplified hardware streamer: on a demand miss, pull the next
-    // line into the L2 as well. Latency is hidden and demand hit/miss
-    // statistics are untouched; DRAM bandwidth is still paid.
-    if (params_.nextLinePrefetch) {
+    // line into the first level below the L1 as well. Latency is hidden
+    // and demand hit/miss statistics are untouched; DRAM bandwidth is
+    // still paid. Meaningless (and skipped) when the L1 talks straight
+    // to DRAM, and a line waiting in the write-back queue is newer than
+    // anything below, so it is never prefetched over.
+    if (params_.nextLinePrefetch && !below_.empty()) {
         const Addr next = line_addr + lineBytes;
-        if (!l1_.peek(next) && !l2_.peek(next)) {
+        bool queued = false;
+        for (const WbEntry &e : wbq_) {
+            if (e.lineAddr == next) {
+                queued = true;
+                break;
+            }
+        }
+        if (!queued && !l1_.peek(next) && !below_[0].array.peek(next)) {
             SentinelLine pf;
-            if (SentinelLine *l3 = l3_.peek(next)) {
-                pf = *l3;
-            } else {
+            std::size_t found = below_.size();
+            for (std::size_t k = 1; k < below_.size(); ++k) {
+                if (SentinelLine *p = below_[k].array.peek(next)) {
+                    pf = *p;
+                    found = k;
+                    break;
+                }
+            }
+            if (found == below_.size()) {
                 ++stats_.dramAccesses;
                 pf = memory_.readLine(next);
-                auto ev3 = l3_.insert(next, pf, false);
-                if (ev3.valid)
-                    writeBackL3(ev3.lineAddr, ev3.line, ev3.dirty);
             }
-            auto ev2 = l2_.insert(next, pf, false);
-            if (ev2.valid)
-                writeBackL2(ev2.lineAddr, ev2.line, ev2.dirty);
+            for (std::size_t j = found; j-- > 0;) {
+                auto evp = below_[j].array.insert(next, pf, false);
+                if (evp.valid)
+                    writeBackLevel(j, evp);
+            }
         }
     }
 
@@ -106,38 +159,85 @@ MemorySystem::refillL1(Addr line_addr, Cycles &latency)
 
 void
 MemorySystem::writeBackL1(Addr line_addr, const BitVectorLine &line,
-                          bool dirty)
+                          bool dirty, Cycles *latency)
 {
-    // A clean L1 line matches what L2/L3/DRAM already hold; dropping it
-    // is safe and models a silent eviction.
+    // A clean L1 line matches what the rest of the hierarchy already
+    // holds; dropping it is safe and models a silent eviction.
     if (!dirty)
         return;
-    if (line.califormed())
+    if (line.califormed()) {
         ++stats_.spills;
-    auto ev = l2_.insert(line_addr, spillLine(line), true);
-    if (ev.valid)
-        writeBackL2(ev.lineAddr, ev.line, ev.dirty);
+        stats_.spillConvCycles += params_.spillConvLatency;
+        if (latency)
+            *latency += params_.spillConvLatency;
+    }
+    const SentinelLine encoded = spillLine(line);
+    if (params_.wbQueueEntries)
+        enqueueWriteBack(line_addr, encoded);
+    else
+        spillBelowNow(line_addr, encoded);
 }
 
 void
-MemorySystem::writeBackL2(Addr line_addr, const SentinelLine &line,
-                          bool dirty)
+MemorySystem::spillBelowNow(Addr line_addr, const SentinelLine &line)
 {
-    if (!dirty)
+    if (below_.empty()) {
+        ++stats_.dramAccesses;
+        memory_.writeLine(line_addr, line);
         return;
-    auto ev = l3_.insert(line_addr, line, true);
+    }
+    auto ev = below_[0].array.insert(line_addr, line, true);
     if (ev.valid)
-        writeBackL3(ev.lineAddr, ev.line, ev.dirty);
+        writeBackLevel(0, ev);
 }
 
 void
-MemorySystem::writeBackL3(Addr line_addr, const SentinelLine &line,
-                          bool dirty)
+MemorySystem::writeBackLevel(std::size_t level,
+                             const CacheArray<SentinelLine>::Evicted &ev)
 {
-    if (!dirty)
+    if (!ev.dirty)
         return;
-    ++stats_.dramAccesses;
-    memory_.writeLine(line_addr, line);
+    if (level + 1 < below_.size()) {
+        auto next =
+            below_[level + 1].array.insert(ev.lineAddr, ev.line, true);
+        if (next.valid)
+            writeBackLevel(level + 1, next);
+    } else {
+        ++stats_.dramAccesses;
+        memory_.writeLine(ev.lineAddr, ev.line);
+    }
+}
+
+void
+MemorySystem::enqueueWriteBack(Addr line_addr, const SentinelLine &line)
+{
+    // A line can be pushed below twice without an intervening fetch
+    // (the non-temporal CFORM path); the newer copy supersedes the
+    // queued one.
+    for (WbEntry &e : wbq_) {
+        if (e.lineAddr == line_addr) {
+            e.line = line;
+            return;
+        }
+    }
+    wbq_.push_back({line_addr, line});
+    ++stats_.wbEnqueued;
+    if (wbq_.size() > stats_.wbPeakOccupancy)
+        stats_.wbPeakOccupancy = wbq_.size();
+    if (wbq_.size() > params_.wbQueueEntries) {
+        ++stats_.wbForcedDrains;
+        drainOneWriteBack();
+    }
+}
+
+void
+MemorySystem::drainOneWriteBack()
+{
+    if (wbq_.empty())
+        return;
+    WbEntry entry = std::move(wbq_.front());
+    wbq_.pop_front();
+    spillBelowNow(entry.lineAddr, entry.line);
 }
 
 MemorySystem::AccessResult
@@ -256,7 +356,7 @@ MemorySystem::wideLoad(Addr addr, unsigned size, SimdPolicy policy)
     const std::uint64_t overlap = line->mask & range;
 
     switch (policy) {
-      case SimdPolicy::PreciseGather:
+    case SimdPolicy::PreciseGather:
         // One gather element per 8B lane; each lane checks precisely.
         // Model the micro-op expansion as one extra cycle per lane.
         res.latency += size / 8;
@@ -271,7 +371,7 @@ MemorySystem::wideLoad(Addr addr, unsigned size, SimdPolicy policy)
         }
         break;
 
-      case SimdPolicy::LineException:
+    case SimdPolicy::LineException:
         if (overlap) {
             ++stats_.securityFaults;
             res.faulted = true;
@@ -283,7 +383,7 @@ MemorySystem::wideLoad(Addr addr, unsigned size, SimdPolicy policy)
         }
         break;
 
-      case SimdPolicy::PropagateMask:
+    case SimdPolicy::PropagateMask:
         // No exception here: the poison bits travel with the register
         // (one bit per byte) and trap at first use.
         res.registerMask = overlap >> off;
@@ -317,20 +417,28 @@ MemorySystem::cform(const CformOp &op)
             l1_.markDirty(op.lineAddr);
             return res;
         }
-        SentinelLine below = fetchBelowL1(op.lineAddr, res.latency);
+        bool dirty = false;
+        SentinelLine below = fetchBelowL1(op.lineAddr, res.latency,
+                                          dirty);
         BitVectorLine decoded = fillLine(below);
         if (auto fault = checkCform(decoded, op)) {
             ++stats_.securityFaults;
             res.faulted = true;
             exceptions_.raise(*fault);
+            // fetchBelowL1 may have pulled the only up-to-date copy
+            // out of the write-back queue; a faulting op must not
+            // destroy it. Re-queue the untouched encoded line (no new
+            // conversion happened, so no spill accounting).
+            if (dirty) {
+                if (params_.wbQueueEntries)
+                    enqueueWriteBack(op.lineAddr, below);
+                else
+                    spillBelowNow(op.lineAddr, below);
+            }
             return res;
         }
         applyCform(decoded, op);
-        if (decoded.califormed())
-            ++stats_.spills;
-        auto ev = l2_.insert(op.lineAddr, spillLine(decoded), true);
-        if (ev.valid)
-            writeBackL2(ev.lineAddr, ev.line, ev.dirty);
+        writeBackL1(op.lineAddr, decoded, true, &res.latency);
         return res;
     }
 
@@ -355,10 +463,12 @@ MemorySystem::functionalRead(Addr line_addr) const
 {
     if (const BitVectorLine *l1 = l1_.peek(line_addr))
         return *l1;
-    if (const SentinelLine *l2 = l2_.peek(line_addr))
-        return fillLine(*l2);
-    if (const SentinelLine *l3 = l3_.peek(line_addr))
-        return fillLine(*l3);
+    for (const WbEntry &e : wbq_)
+        if (e.lineAddr == line_addr)
+            return fillLine(e.line);
+    for (const Level &level : below_)
+        if (const SentinelLine *p = level.array.peek(line_addr))
+            return fillLine(*p);
     // Bypass the read counter? Keep it: functional reads are rare and
     // the counter tracks DRAM device traffic; use a direct read here.
     return fillLine(memory_.readLine(line_addr));
@@ -373,15 +483,18 @@ MemorySystem::functionalWrite(Addr line_addr, const BitVectorLine &line)
         return;
     }
     const SentinelLine encoded = spillLine(line);
-    if (SentinelLine *l2 = l2_.peek(line_addr)) {
-        *l2 = encoded;
-        l2_.markDirty(line_addr);
-        return;
+    for (WbEntry &e : wbq_) {
+        if (e.lineAddr == line_addr) {
+            e.line = encoded;
+            return;
+        }
     }
-    if (SentinelLine *l3 = l3_.peek(line_addr)) {
-        *l3 = encoded;
-        l3_.markDirty(line_addr);
-        return;
+    for (Level &level : below_) {
+        if (SentinelLine *p = level.array.peek(line_addr)) {
+            *p = encoded;
+            level.array.markDirty(line_addr);
+            return;
+        }
     }
     memory_.writeLine(line_addr, encoded);
 }
@@ -427,29 +540,46 @@ MemorySystem::securityMask(Addr addr) const
 void
 MemorySystem::flushAll()
 {
+    // Queued write-backs are older than anything still resident; drain
+    // them into the hierarchy first so the level sweep below sees them.
+    while (!wbq_.empty())
+        drainOneWriteBack();
+
     l1_.forEachLine([this](Addr la, BitVectorLine &line, bool dirty) {
         if (!dirty)
             return;
+        // Conversion events are counted, but no conv-cycles: nothing
+        // is charged latency during a flush (same convention as the
+        // uncounted DRAM writes below).
         if (line.califormed())
             ++stats_.spills;
-        auto ev = l2_.insert(la, spillLine(line), true);
-        if (ev.valid)
-            writeBackL2(ev.lineAddr, ev.line, ev.dirty);
+        spillBelowNow(la, spillLine(line));
     });
     l1_.reset();
-    l2_.forEachLine([this](Addr la, SentinelLine &line, bool dirty) {
-        if (!dirty)
-            return;
-        auto ev = l3_.insert(la, line, true);
-        if (ev.valid)
-            writeBackL3(ev.lineAddr, ev.line, ev.dirty);
-    });
-    l2_.reset();
-    l3_.forEachLine([this](Addr la, SentinelLine &line, bool dirty) {
-        if (dirty)
-            memory_.writeLine(la, line);
-    });
-    l3_.reset();
+
+    // Cascade each level into the next; the deepest level writes its
+    // dirty lines straight to DRAM (device traffic after the
+    // measurement window — not counted, matching writeBackLevel's
+    // callers' view of demand traffic only).
+    for (std::size_t j = 0; j + 1 < below_.size(); ++j) {
+        below_[j].array.forEachLine(
+            [this, j](Addr la, SentinelLine &line, bool dirty) {
+                if (!dirty)
+                    return;
+                auto ev = below_[j + 1].array.insert(la, line, true);
+                if (ev.valid)
+                    writeBackLevel(j + 1, ev);
+            });
+        below_[j].array.reset();
+    }
+    if (!below_.empty()) {
+        below_.back().array.forEachLine(
+            [this](Addr la, SentinelLine &line, bool dirty) {
+                if (dirty)
+                    memory_.writeLine(la, line);
+            });
+        below_.back().array.reset();
+    }
 }
 
 MemSysStats
@@ -457,8 +587,8 @@ MemorySystem::stats() const
 {
     MemSysStats out = stats_;
     out.l1 = l1_.stats();
-    out.l2 = l2_.stats();
-    out.l3 = l3_.stats();
+    for (const Level &level : below_)
+        (level.id == 2 ? out.l2 : out.l3) = level.array.stats();
     return out;
 }
 
@@ -467,8 +597,8 @@ MemorySystem::clearStats()
 {
     stats_ = MemSysStats{};
     l1_.clearStats();
-    l2_.clearStats();
-    l3_.clearStats();
+    for (Level &level : below_)
+        level.array.clearStats();
 }
 
 } // namespace califorms

@@ -1,16 +1,28 @@
 /**
  * @file memsys.hh
- * The three level cache hierarchy with Califorms support (Sections 3, 5).
+ * The configurable multi-level cache hierarchy with Califorms support
+ * (Sections 3, 5).
  *
  * Layout of metadata through the hierarchy (Figure 1):
  *   L1D      — califorms-bitvector: natural data + 64-bit mask per line.
- *   L2, L3   — califorms-sentinel: encoded payload + 1 bit per line.
+ *   L2, LLC  — califorms-sentinel: encoded payload + 1 bit per line.
  *   DRAM     — sentinel payload, metadata bit in spare ECC (MainMemory).
  *
- * Conversions run at the L1/L2 boundary: fills decode sentinel lines
- * into the bit vector format (Algorithm 2), spills re-encode on eviction
- * (Algorithm 1). Lines without security bytes stay in the natural format
- * everywhere.
+ * The depth below the L1 is configurable (MemSysParams::levels plus
+ * per-level sizes): 1 level is L1 + DRAM, 2 adds the L2, 3 adds the LLC
+ * — disabled levels are skipped entirely, in both timing and state.
+ *
+ * Conversions run at the L1 boundary wherever it is: fills decode
+ * sentinel lines into the bit vector format (Algorithm 2), spills
+ * re-encode on eviction (Algorithm 1). Lines without security bytes
+ * stay in the natural format everywhere. Conversion events are counted
+ * (fills/spills) and can be charged latency (fillConvLatency /
+ * spillConvLatency).
+ *
+ * Dirty write-backs optionally pass through a bounded miss-queue
+ * (wbQueueEntries): evicted dirty lines wait there, drain one entry per
+ * demand miss, and an L1 miss that hits a queued line pulls it back
+ * directly (a victim-buffer hit) instead of re-fetching below.
  *
  * Every load/store checks the accessed byte range against the L1 mask.
  * Touching a security byte raises the privileged Califorms exception
@@ -26,6 +38,7 @@
 #define CALIFORMS_SIM_MEMSYS_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "core/cform.hh"
@@ -42,13 +55,24 @@ namespace califorms
 struct MemSysStats
 {
     CacheStats l1;
-    CacheStats l2;
-    CacheStats l3;
+    CacheStats l2; //!< all zero when the L2 is disabled
+    CacheStats l3; //!< all zero when the LLC is disabled
     std::uint64_t dramAccesses = 0;
     std::uint64_t spills = 0;          //!< califormed L1 evictions encoded
     std::uint64_t fills = 0;           //!< califormed L1 fills decoded
     std::uint64_t cformOps = 0;
     std::uint64_t securityFaults = 0;  //!< raised (delivered or suppressed)
+
+    // Conversion latency actually charged at the L1 boundary (cycles).
+    std::uint64_t fillConvCycles = 0;
+    std::uint64_t spillConvCycles = 0;
+
+    // Dirty write-back queue (miss-queue) behaviour; all zero when
+    // wbQueueEntries == 0.
+    std::uint64_t wbHits = 0;          //!< L1 misses served from the queue
+    std::uint64_t wbEnqueued = 0;      //!< dirty evictions queued
+    std::uint64_t wbForcedDrains = 0;  //!< pushes that found the queue full
+    std::uint64_t wbPeakOccupancy = 0; //!< high-water mark of the queue
 };
 
 class MemorySystem
@@ -135,24 +159,57 @@ class MemorySystem
     MainMemory &memory() { return memory_; }
     const MemSysParams &params() const { return params_; }
 
-    /** Total latency of an L1 miss that hits in L2 (for reporting). */
+    /** Number of enabled cache levels below the L1 (0, 1 or 2). */
+    std::size_t levelsBelowL1() const { return below_.size(); }
+
+    /** Total latency of an L1 miss that hits in the first level below
+     *  the L1 (DRAM when none is enabled; for reporting). */
     Cycles l2HitLatency() const;
 
   private:
+    /** One sentinel-format cache level below the L1. */
+    struct Level
+    {
+        CacheArray<SentinelLine> array;
+        Cycles latency;
+        unsigned id; //!< 2 = L2, 3 = LLC; selects the stats slot
+    };
+
+    /** A dirty line waiting in the write-back queue. */
+    struct WbEntry
+    {
+        Addr lineAddr;
+        SentinelLine line;
+    };
+
     /** Fetch a line into L1 (miss path); returns latency spent below L1
      *  and a reference to the resident line. */
     BitVectorLine &refillL1(Addr line_addr, Cycles &latency);
 
-    /** Look the line up in L2/L3/DRAM, filling caches along the way. */
-    SentinelLine fetchBelowL1(Addr line_addr, Cycles &latency);
+    /** Look the line up in the write-back queue, the levels below the
+     *  L1 and DRAM, filling caches along the way. Sets @p dirty when
+     *  the line came out of the write-back queue (its only copy). */
+    SentinelLine fetchBelowL1(Addr line_addr, Cycles &latency,
+                              bool &dirty);
 
-    /** Evict one L1 line into L2 (spill conversion). */
+    /** Evict one L1 line (spill conversion + write-back queue). The
+     *  conversion penalty is charged to @p latency when given. */
     void writeBackL1(Addr line_addr, const BitVectorLine &line,
-                     bool dirty);
-    /** Evict one L2 line into L3. */
-    void writeBackL2(Addr line_addr, const SentinelLine &line, bool dirty);
-    /** Evict one L3 line into DRAM. */
-    void writeBackL3(Addr line_addr, const SentinelLine &line, bool dirty);
+                     bool dirty, Cycles *latency);
+
+    /** Push an encoded dirty line below the L1, bypassing the queue. */
+    void spillBelowNow(Addr line_addr, const SentinelLine &line);
+
+    /** Handle the eviction from a sentinel level: cascade the dirty
+     *  line into the next enabled level or DRAM. */
+    void writeBackLevel(std::size_t level,
+                        const CacheArray<SentinelLine>::Evicted &ev);
+
+    /** Queue a dirty encoded line (wbQueueEntries > 0 only). */
+    void enqueueWriteBack(Addr line_addr, const SentinelLine &line);
+
+    /** Drain the oldest queued write-back into the hierarchy. */
+    void drainOneWriteBack();
 
     /** Common load/store path for one line-contained segment. */
     AccessResult accessSegment(Addr addr, unsigned size, bool is_store,
@@ -166,8 +223,11 @@ class MemorySystem
     MemSysParams params_;
     ExceptionUnit &exceptions_;
     CacheArray<BitVectorLine> l1_;
-    CacheArray<SentinelLine> l2_;
-    CacheArray<SentinelLine> l3_;
+    std::vector<Level> below_; //!< enabled levels, nearest first
+    /** Dirty write-back queue. Lookups are linear scans on the miss
+     *  path — fine for realistic victim-buffer depths (the CLI caps
+     *  the knob at 512); index it before allowing anything larger. */
+    std::deque<WbEntry> wbq_;
     MainMemory memory_;
     MemSysStats stats_;
 };

@@ -34,11 +34,11 @@ constexpr Cycles
 l1FormatExtraLatency(L1Format format)
 {
     switch (format) {
-      case L1Format::BitVector8B:
+    case L1Format::BitVector8B:
         return 0;
-      case L1Format::Cal4B:
+    case L1Format::Cal4B:
         return 2;
-      case L1Format::Cal1B:
+    case L1Format::Cal1B:
         return 1;
     }
     return 0;
@@ -55,11 +55,21 @@ struct MemSysParams
     unsigned l2Ways = 8;
     Cycles l2Latency = 7;
 
-    std::size_t l3Size = 2 * 1024 * 1024; //!< 2MB
+    std::size_t l3Size = 2 * 1024 * 1024; //!< 2MB (the LLC)
     unsigned l3Ways = 16;
     Cycles l3Latency = 27;
 
     Cycles dramLatency = 120;             //!< DDR3-1333 average load
+
+    /**
+     * Hierarchy depth: 1 = L1 + DRAM, 2 = + L2, 3 = + L2 + LLC
+     * (default, the Table 3 machine). Independently, a level whose
+     * size is 0 is skipped, so levels = 3 with l2Size = 0 degenerates
+     * to an L1 + LLC machine and levels = 2 with l2Size = 0 is exactly
+     * the levels = 1 machine. Values outside [1, 3] are rejected by
+     * MemorySystem.
+     */
+    unsigned levels = 3;
 
     /**
      * Extra L2 and L3 access latency in cycles. Figure 10 evaluates the
@@ -67,13 +77,48 @@ struct MemSysParams
      */
     Cycles extraL2L3Latency = 0;
 
+    /**
+     * Cycles charged on the critical path for the sentinel -> bit
+     * vector conversion of a califormed line filled into the L1
+     * (Algorithm 2). The paper overlaps the decode with the fill and
+     * treats it as free (the pessimistic variant is the Figure 10 extra
+     * latency), so the default is 0; raise it to study a serialized
+     * decoder.
+     */
+    Cycles fillConvLatency = 0;
+
+    /**
+     * Cycles charged when a dirty califormed L1 line is encoded back to
+     * the sentinel format on eviction (Algorithm 1). Write-backs leave
+     * the critical path through the write-back buffer, so the paper's
+     * default is 0; non-zero models an encoder that stalls the
+     * triggering access.
+     */
+    Cycles spillConvLatency = 0;
+
+    /**
+     * Depth of the dirty write-back queue between the L1 and the rest
+     * of the hierarchy (the miss-queue / victim-buffer path). 0 keeps
+     * the legacy immediate write-back behaviour. When enabled, dirty
+     * evictions wait in the queue and drain one entry per DRAM-served
+     * demand miss (the long service window leaves the L1-side bus
+     * idle); an L1 miss that hits a queued line pulls it back at
+     * wbHitLatency, and pushing onto a full queue force-drains the
+     * oldest entry.
+     */
+    unsigned wbQueueEntries = 0;
+
+    /** Latency of an L1 miss served from the write-back queue. */
+    Cycles wbHitLatency = 1;
+
     /** L1 metadata organization (Appendix A variants). */
     L1Format l1Format = L1Format::BitVector8B;
 
     /**
      * Next-line prefetch into the L2 on L1 misses (a simplified model
      * of the hardware streamers real Westmere/Skylake parts have).
-     * Prefetches consume DRAM bandwidth but hide their latency.
+     * Prefetches consume DRAM bandwidth but hide their latency. Ignored
+     * on a 1-level hierarchy (there is no L2 to prefetch into).
      */
     bool nextLinePrefetch = false;
 };

@@ -28,7 +28,7 @@ cacheEntries(std::vector<StatEntry> &out, const std::string &prefix,
 } // namespace
 
 std::vector<StatEntry>
-memStatEntries(const MemSysStats &mem)
+memStatEntries(const MemSysStats &mem, StatSchema schema)
 {
     std::vector<StatEntry> out;
     cacheEntries(out, "l1d", mem.l1);
@@ -47,6 +47,24 @@ memStatEntries(const MemSysStats &mem)
     out.push_back({"califorms.securityFaults",
                    static_cast<double>(mem.securityFaults),
                    "accesses that touched security bytes"});
+    if (schema == StatSchema::V1)
+        return out;
+    out.push_back({"califorms.fillConvCycles",
+                   static_cast<double>(mem.fillConvCycles),
+                   "latency charged for fill conversions"});
+    out.push_back({"califorms.spillConvCycles",
+                   static_cast<double>(mem.spillConvCycles),
+                   "latency charged for spill conversions"});
+    out.push_back({"wbq.hits", static_cast<double>(mem.wbHits),
+                   "L1 misses served from the write-back queue"});
+    out.push_back({"wbq.enqueued", static_cast<double>(mem.wbEnqueued),
+                   "dirty evictions queued"});
+    out.push_back({"wbq.forcedDrains",
+                   static_cast<double>(mem.wbForcedDrains),
+                   "write-backs that found the queue full"});
+    out.push_back({"wbq.peakOccupancy",
+                   static_cast<double>(mem.wbPeakOccupancy),
+                   "write-back queue high-water mark"});
     return out;
 }
 

@@ -26,9 +26,24 @@ struct StatEntry
     const char *desc = "";
 };
 
+/**
+ * Which generation of the stat-name list to emit. V1 is the exact list
+ * the califorms-campaign/v1 reports carried (l1d.*, l2.*, l3.*,
+ * dram.*, califorms.{spills,fills,cformOps,securityFaults}); V2
+ * appends the hierarchy counters introduced with the multi-level
+ * refactor (conversion cycles, write-back queue). V1 stays emittable
+ * so old report consumers keep working byte for byte.
+ */
+enum class StatSchema
+{
+    V1,
+    V2,
+};
+
 /** The memory-system counters under their canonical dump names
- *  (l1d.*, l2.*, l3.*, dram.*, califorms.*). */
-std::vector<StatEntry> memStatEntries(const MemSysStats &mem);
+ *  (l1d.*, l2.*, l3.*, dram.*, califorms.*, wbq.*). */
+std::vector<StatEntry> memStatEntries(const MemSysStats &mem,
+                                      StatSchema schema = StatSchema::V2);
 
 /** Render all machine statistics in a flat, diffable format. */
 std::string dumpStats(const Machine &machine);

@@ -55,16 +55,16 @@ runTrace(Machine &machine, const Trace &trace)
     std::uint64_t checksum = 0;
     for (const TraceOp &op : trace) {
         switch (op.kind) {
-          case TraceOp::Kind::Load:
+        case TraceOp::Kind::Load:
             checksum ^= machine.load(op.addr, op.size, op.dependsOnPrev);
             break;
-          case TraceOp::Kind::Store:
+        case TraceOp::Kind::Store:
             machine.store(op.addr, op.size, op.value);
             break;
-          case TraceOp::Kind::Cform:
+        case TraceOp::Kind::Cform:
             machine.cform(op.cform);
             break;
-          case TraceOp::Kind::Compute:
+        case TraceOp::Kind::Compute:
             machine.compute(op.computeOps);
             break;
         }
@@ -78,26 +78,26 @@ writeTrace(std::ostream &os, const Trace &trace)
     os << std::hex;
     for (const TraceOp &op : trace) {
         switch (op.kind) {
-          case TraceOp::Kind::Load:
+        case TraceOp::Kind::Load:
             os << "L " << op.addr << " " << std::dec
                << unsigned(op.size) << std::hex;
             if (op.dependsOnPrev)
                 os << " dep";
             os << "\n";
             break;
-          case TraceOp::Kind::Store:
+        case TraceOp::Kind::Store:
             os << "S " << op.addr << " " << std::dec
                << unsigned(op.size) << std::hex << " " << op.value
                << "\n";
             break;
-          case TraceOp::Kind::Cform:
+        case TraceOp::Kind::Cform:
             os << "C " << op.cform.lineAddr << " " << op.cform.setBits
                << " " << op.cform.mask;
             if (op.cform.nonTemporal)
                 os << " nt";
             os << "\n";
             break;
-          case TraceOp::Kind::Compute:
+        case TraceOp::Kind::Compute:
             os << "X " << std::dec << op.computeOps << std::hex << "\n";
             break;
         }

@@ -43,10 +43,10 @@ synthesizeL1(const CircuitBuilder &b, const L1Geometry &g,
     CircuitCost core = l1CorePipeline(b, g);
 
     switch (variant) {
-      case L1Variant::Baseline:
+    case L1Variant::Baseline:
         return closePath(b, core);
 
-      case L1Variant::Califorms8B: {
+    case L1Variant::Califorms8B: {
         // Dedicated metadata array, one bit per byte (Figure 5). The
         // lookup happens in parallel with the tag access (Figure 6); only
         // the Califorms checker's gating lands after the data.
@@ -57,7 +57,7 @@ synthesizeL1(const CircuitBuilder &b, const L1Geometry &g,
         return closePath(b, c);
       }
 
-      case L1Variant::Califorms4B: {
+    case L1Variant::Califorms4B: {
         // 4 bits per 8B chunk (Figure 14). The bit vector lives in a
         // security byte of the chunk, so the hit path must read the
         // metadata, locate the holder byte, extract it from the data
@@ -74,7 +74,7 @@ synthesizeL1(const CircuitBuilder &b, const L1Geometry &g,
         return closePath(b, c);
       }
 
-      case L1Variant::Califorms1B: {
+    case L1Variant::Califorms1B: {
         // 1 bit per chunk (Figure 15): the holder byte is always the
         // chunk header, so the locate step disappears and the tail is
         // shorter — cheaper than 4B in both area and delay (Table 7).

@@ -171,6 +171,60 @@ TEST(GridExpansion, TweakAppliesLast)
     EXPECT_EQ(units[0].config.policyParams.maxSpan, 6u);
 }
 
+TEST(GridExpansion, LevelsAxisCrossesEveryVariant)
+{
+    CampaignSpec spec = smallSpec();
+    spec.variants = CampaignSpec::crossLevels(spec.variants, {1, 3});
+    ASSERT_EQ(spec.variants.size(), 6u);
+    EXPECT_EQ(spec.variants[0].label, "base@L1");
+    EXPECT_EQ(spec.variants[0].levels, 1u);
+    EXPECT_EQ(spec.variants[3].label, "base@L3");
+    EXPECT_EQ(spec.variants[3].levels, 3u);
+    EXPECT_EQ(spec.variants[4].policy, InsertionPolicy::Full);
+
+    const auto units = spec.expand();
+    // 2 benchmarks x 2 depths x (1 + 2 + 2 seeds) = 20 units.
+    ASSERT_EQ(units.size(), 20u);
+    EXPECT_EQ(units[0].config.machine.mem.levels, 1u);
+    EXPECT_EQ(units[5].config.machine.mem.levels, 3u);
+}
+
+TEST(GridExpansion, HierarchyOverridesApplyBeforeTweak)
+{
+    CampaignSpec spec = smallSpec();
+    Variant v("shrunk", InsertionPolicy::Full, 3, 0, true, false,
+              [](RunConfig &c) {
+                  // tweak sees the axis overrides already applied
+                  c.machine.mem.l2Size *= 2;
+              });
+    v.levels = 2;
+    v.l2Kb = 64;
+    v.llcKb = 0;
+    spec.variants = {v};
+    const auto units = spec.expand();
+    ASSERT_EQ(units.size(), 2u);
+    EXPECT_EQ(units[0].config.machine.mem.levels, 2u);
+    EXPECT_EQ(units[0].config.machine.mem.l2Size, 2u * 64u * 1024u);
+    EXPECT_EQ(units[0].config.machine.mem.l3Size, 0u);
+}
+
+TEST(Engine, LevelsAxisIsJobCountInvariant)
+{
+    CampaignSpec spec = smallSpec();
+    spec.variants = CampaignSpec::crossLevels(spec.variants, {1, 2, 3});
+    spec.base.machine.mem.wbQueueEntries = 8;
+    const auto serial = exp::runCampaign(spec, 1);
+    const auto parallel = exp::runCampaign(spec, 8);
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i)
+        EXPECT_TRUE(sameResult(serial.results[i], parallel.results[i]))
+            << "unit " << i;
+    // The axis must actually change the machine: depth 1 pays more
+    // DRAM traffic than depth 3 for the same benchmark/variant/seed.
+    EXPECT_GT(serial.results[0].mem.dramAccesses,
+              serial.results[10].mem.dramAccesses);
+}
+
 TEST(Engine, EffectiveJobs)
 {
     EXPECT_GE(exp::effectiveJobs(0), 1u);

@@ -76,9 +76,9 @@ TEST_P(MemSysFuzz, AgreesWithOracle)
     for (int step = 0; step < 6000; ++step) {
         const Addr la = base + lineBytes * rng.nextBelow(lines);
         switch (rng.nextBelow(20)) {
-          case 0:
-          case 1:
-          case 2: { // CFORM toggle of a random byte group
+        case 0:
+        case 1:
+        case 2: { // CFORM toggle of a random byte group
             const std::uint64_t bits = rng.next() & rng.next();
             std::uint64_t to_set = 0, to_unset = 0;
             for (unsigned i = 0; i < lineBytes; ++i) {
@@ -108,10 +108,10 @@ TEST_P(MemSysFuzz, AgreesWithOracle)
             }
             break;
           }
-          case 3: // flush everything
+        case 3: // flush everything
             mem.flushAll();
             break;
-          default: {
+        default: {
             const unsigned size =
                 1u << rng.nextBelow(4); // 1,2,4,8
             const unsigned off = static_cast<unsigned>(

@@ -44,7 +44,7 @@ TEST_P(L1FormatEquivalence, SameArchitecturalBehaviourAsDefault)
     for (int step = 0; step < 3000; ++step) {
         const Addr la = 0x8000 + lineBytes * rng.nextBelow(64);
         switch (rng.nextBelow(10)) {
-          case 0: {
+        case 0: {
             const SecurityMask m = rng.next() & 0x0f0f0f0f0f0f0f0full;
             // Toggle-safe: unset whatever is set, set what is not.
             const SecurityMask cur = reference.securityMask(la);
@@ -56,7 +56,7 @@ TEST_P(L1FormatEquivalence, SameArchitecturalBehaviourAsDefault)
             variant.cform(op);
             break;
           }
-          default: {
+        default: {
             const unsigned size = 1u << rng.nextBelow(4);
             const Addr addr =
                 la + rng.nextBelow(lineBytes - size + 1);

@@ -208,6 +208,24 @@ TEST(DecodeMask, MatchesFillLine)
     }
 }
 
+TEST(DecodeMask, MemoFreeDecodeMatchesMemoAndOriginal)
+{
+    // The branch-free (SWAR) sentinel scan must agree with the
+    // decode-once memo recorded by the spill side — and both with the
+    // original mask — for every security byte count.
+    Rng rng(35);
+    for (unsigned count = 0; count <= 64; ++count) {
+        BitVectorLine line = randomLine(rng, count);
+        const SentinelLine spilled = spillLine(line);
+        ASSERT_TRUE(spilled.maskCached);
+        SentinelLine fresh = spilled;
+        fresh.maskCached = false;
+        EXPECT_EQ(decodeMask(fresh), decodeMask(spilled));
+        EXPECT_EQ(decodeMask(fresh), line.mask);
+        EXPECT_EQ(fillLine(fresh), fillLine(spilled));
+    }
+}
+
 TEST(SentinelFormat, CriticalWordFirstHeaderInFirstFourBytes)
 {
     // The security byte locations of a <=4-security-byte line must be
@@ -217,6 +235,9 @@ TEST(SentinelFormat, CriticalWordFirstHeaderInFirstFourBytes)
         BitVectorLine line = randomLine(rng, count);
         SentinelLine spilled = spillLine(line);
         SentinelLine truncated = spilled;
+        // The copy no longer mirrors its raw bytes once corrupted, so
+        // drop the decode-once memo to exercise the real header decode.
+        truncated.maskCached = false;
         // Corrupt everything past byte 3; the mask must not change for
         // lines with <= 4 security bytes (no sentinel scan needed).
         if (count < 4 || popcount64(line.mask) == 4) {

@@ -25,13 +25,13 @@ randomTrace(Rng &rng, std::size_t n)
     for (std::size_t i = 0; i < n; ++i) {
         const Addr addr = 0x10000 + 8 * rng.nextBelow(4096);
         switch (rng.nextBelow(4)) {
-          case 0:
+        case 0:
             trace.push_back(TraceOp::load(addr, 8, rng.chance(0.3)));
             break;
-          case 1:
+        case 1:
             trace.push_back(TraceOp::store(addr, 8, rng.next()));
             break;
-          case 2: {
+        case 2: {
             // Set-then-unset pairs keep the CFORM K-map happy.
             const SecurityMask m = rng.next() & 0xff;
             if (m) {
@@ -42,7 +42,7 @@ randomTrace(Rng &rng, std::size_t n)
             }
             break;
           }
-          default:
+        default:
             trace.push_back(TraceOp::compute(
                 static_cast<std::uint32_t>(rng.nextBelow(16))));
         }
@@ -93,15 +93,15 @@ fuzzTrace(Rng &rng, std::size_t n)
     for (std::size_t i = 0; i < n; ++i) {
         const Addr addr = rng.next() & 0xffff'ffff'fff8ull;
         switch (rng.nextBelow(4)) {
-          case 0:
+        case 0:
             trace.push_back(TraceOp::load(
                 addr, sizes[rng.nextBelow(4)], rng.chance(0.5)));
             break;
-          case 1:
+        case 1:
             trace.push_back(TraceOp::store(
                 addr, sizes[rng.nextBelow(4)], rng.next()));
             break;
-          case 2: {
+        case 2: {
             CformOp op;
             op.lineAddr = lineBase(addr);
             op.setBits = rng.next() & 0xff;
@@ -110,7 +110,7 @@ fuzzTrace(Rng &rng, std::size_t n)
             trace.push_back(TraceOp::cformOp(op));
             break;
           }
-          default:
+        default:
             trace.push_back(TraceOp::compute(
                 static_cast<std::uint32_t>(rng.nextBelow(1000))));
         }

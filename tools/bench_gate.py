@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for califorms campaign reports.
+
+Compares a freshly produced campaign JSON report (schema
+califorms-campaign/v1 or /v2) against a committed baseline:
+
+  * simulated counters (cycles, instructions, per-run mem stats) are
+    deterministic, so any drift is a hard failure — an intentional
+    model change must regenerate the baseline with --update;
+  * wall-clock time (the optional "timing" object) is gated with a
+    relative threshold: the current elapsedMs may exceed the baseline
+    by at most --time-threshold (default 0.15 = +15%); pass
+    --no-time to skip the wall-clock comparison (e.g. when baseline
+    and current runs come from different machines or when ctest runs
+    several suites in parallel), or --time-only to skip the counter
+    comparison (e.g. when gating wall clock against a previous CI
+    run whose counters predate an intentional baseline update).
+
+Uses only the Python standard library. Exit codes: 0 pass, 1 regression,
+2 usage/IO error.
+
+Usage:
+  bench_gate.py CURRENT BASELINE [--time-threshold F] [--no-time | --time-only]
+  bench_gate.py CURRENT BASELINE --update
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, "rb") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e}")
+    schema = report.get("schema", "")
+    if not schema.startswith("califorms-campaign/"):
+        sys.exit(f"bench_gate: {path}: unexpected schema '{schema}'")
+    return report
+
+
+def run_key(run):
+    return (run.get("benchmark"), run.get("variant"),
+            run.get("layoutSeed"))
+
+
+def index_runs(report, path):
+    runs = {}
+    for run in report.get("runs", []):
+        key = run_key(run)
+        if key in runs:
+            sys.exit(f"bench_gate: {path}: duplicate run {key}")
+        runs[key] = run
+    return runs
+
+
+def compare_counters(current, baseline):
+    """Exact comparison of the deterministic per-run counters.
+
+    The compared surface is the intersection of the recorded stats, so
+    a v2 current report still gates cleanly against a v1 baseline.
+    """
+    failures = []
+    cur_runs = index_runs(current, "current")
+    base_runs = index_runs(baseline, "baseline")
+    for key in sorted(base_runs, key=repr):
+        if key not in cur_runs:
+            failures.append(f"run {key} missing from current report")
+            continue
+        cur, base = cur_runs[key], base_runs[key]
+        for field in ("cycles", "instructions"):
+            if cur.get(field) != base.get(field):
+                failures.append(
+                    f"run {key}: {field} {base.get(field)} -> "
+                    f"{cur.get(field)}")
+        cur_mem = cur.get("mem", {})
+        base_mem = base.get("mem", {})
+        for stat in sorted(set(cur_mem) & set(base_mem)):
+            if cur_mem[stat] != base_mem[stat]:
+                failures.append(
+                    f"run {key}: mem.{stat} {base_mem[stat]} -> "
+                    f"{cur_mem[stat]}")
+    for key in sorted(cur_runs, key=repr):
+        if key not in base_runs:
+            failures.append(
+                f"run {key} not in baseline (grid changed? "
+                "regenerate with --update)")
+    return failures
+
+
+def compare_time(current, baseline, threshold):
+    cur_t = current.get("timing", {}).get("elapsedMs")
+    base_t = baseline.get("timing", {}).get("elapsedMs")
+    if cur_t is None or base_t is None:
+        return ["timing object missing (rerun without --no-time "
+                "only on reports that include timing)"]
+    if base_t <= 0:
+        return []
+    ratio = cur_t / base_t
+    if ratio > 1.0 + threshold:
+        return [f"wall clock regressed {ratio - 1.0:+.1%} "
+                f"({base_t:.1f}ms -> {cur_t:.1f}ms, "
+                f"threshold +{threshold:.0%})"]
+    print(f"bench_gate: wall clock {ratio - 1.0:+.1%} vs baseline "
+          f"({base_t:.1f}ms -> {cur_t:.1f}ms)")
+    return []
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="califorms benchmark regression gate")
+    parser.add_argument("current", help="fresh campaign JSON report")
+    parser.add_argument("baseline", help="committed baseline report")
+    parser.add_argument("--time-threshold", type=float, default=0.15,
+                        help="max relative wall-clock regression "
+                             "(default 0.15 = +15%%)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--no-time", action="store_true",
+                       help="skip the wall-clock comparison")
+    group.add_argument("--time-only", action="store_true",
+                       help="skip the counter comparison")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current "
+                             "report and exit")
+    args = parser.parse_args()
+
+    current = load_report(args.current)
+    if args.update:
+        try:
+            with open(args.current, "rb") as src, \
+                 open(args.baseline, "wb") as dst:
+                dst.write(src.read())
+        except OSError as e:
+            sys.exit(f"bench_gate: cannot update baseline: {e}")
+        print(f"bench_gate: baseline {args.baseline} updated")
+        return 0
+
+    baseline = load_report(args.baseline)
+    failures = []
+    if not args.time_only:
+        failures += compare_counters(current, baseline)
+    if not args.no_time:
+        failures += compare_time(current, baseline,
+                                 args.time_threshold)
+
+    if failures:
+        print(f"bench_gate: FAIL ({len(failures)} regression(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    if args.time_only:
+        print("bench_gate: PASS (wall clock within threshold)")
+    else:
+        n = len(current.get("runs", []))
+        print(f"bench_gate: PASS ({n} runs match the baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

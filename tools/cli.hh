@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "layout/policy.hh"
+#include "sim/params.hh"
 
 namespace califorms::cli
 {
@@ -44,6 +45,26 @@ std::vector<std::size_t> parseSizeList(const std::string &csv);
 /** Fetch the value after a "--flag value" pair; advances @p i. Exits
  *  with an error message if the value is missing. */
 const char *flagValue(int argc, char **argv, int &i);
+
+/**
+ * Recognize and apply one memory-hierarchy flag shared by `run` and
+ * `sweep` (--levels N, --l2-kb N, --llc-kb N, --l2-lat N, --llc-lat N,
+ * --fill-conv N, --spill-conv N, --wb-queue N). Returns Consumed when
+ * @p arg was a hierarchy flag and was applied to @p mem, NotMine when
+ * it is some other flag, and Error (message already printed) on a bad
+ * value.
+ */
+enum class HierFlag
+{
+    NotMine,
+    Consumed,
+    Error,
+};
+HierFlag parseHierarchyFlag(MemSysParams &mem, const std::string &arg,
+                            int argc, char **argv, int &i);
+
+/** The usage lines for the shared hierarchy flags. */
+const char *hierarchyUsage();
 
 } // namespace califorms::cli
 

@@ -22,7 +22,7 @@ namespace
 void
 usage()
 {
-    std::puts(
+    std::printf(
         "usage: califorms run <benchmark|all> [options]\n"
         "\n"
         "options:\n"
@@ -34,7 +34,8 @@ usage()
         "  --no-cform      allocate layouts but never issue CFORMs\n"
         "  --extra-latency add one cycle to L2 and L3 (Figure 10)\n"
         "  --l1 F          bitvector|cal4b|cal1b metadata format "
-        "(Table 7)");
+        "(Table 7)\n%s\n",
+        hierarchyUsage());
 }
 
 void
@@ -74,6 +75,15 @@ cmdRun(int argc, char **argv)
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
+        switch (parseHierarchyFlag(config.machine.mem, arg, argc, argv,
+                                   i)) {
+        case HierFlag::Consumed:
+            continue;
+        case HierFlag::Error:
+            return 2;
+        case HierFlag::NotMine:
+            break;
+        }
         if (arg == "--policy") {
             const std::string name = flagValue(argc, argv, i);
             const auto p = parsePolicy(name);

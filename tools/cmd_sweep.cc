@@ -6,7 +6,12 @@
  * cycles over layout seeds, and prints slowdown relative to the
  * uninstrumented baseline — the Figure 11/12 methodology, but
  * composable over any policy x span grid instead of fixed per-figure
- * configurations. --json/--csv record the machine-readable report.
+ * configurations. The memory hierarchy is configurable (--levels,
+ * --l2-kb, --llc-kb, latencies, conversion charges, --wb-queue); a
+ * comma list for --levels turns the hierarchy depth into a third grid
+ * axis, with the slowdown column computed against the uninstrumented
+ * baseline of the same depth. --json/--csv record the machine-readable
+ * report (schema califorms-campaign/v2).
  */
 
 #include "cli.hh"
@@ -28,7 +33,7 @@ namespace
 void
 usage()
 {
-    std::puts(
+    std::printf(
         "usage: califorms sweep [options]\n"
         "\n"
         "options:\n"
@@ -43,7 +48,10 @@ usage()
         "(default 1)\n"
         "  --json FILE     write the campaign report as JSON\n"
         "  --csv FILE      write one CSV row per run\n"
-        "  --extra-latency add one cycle to L2 and L3");
+        "  --extra-latency add one cycle to L2 and L3\n"
+        "  --levels L      hierarchy depth 1..3, or a comma list to "
+        "sweep the depth as a grid axis\n%s\n",
+        hierarchyUsage());
 }
 
 } // namespace
@@ -56,6 +64,7 @@ cmdSweep(int argc, char **argv)
         InsertionPolicy::None, InsertionPolicy::Opportunistic,
         InsertionPolicy::Full, InsertionPolicy::Intelligent};
     std::vector<std::size_t> maxspans = {3, 5, 7};
+    std::vector<unsigned> levels_axis;
     RunConfig base;
     base.scale = 0.25;
     unsigned seeds = 2;
@@ -64,6 +73,35 @@ cmdSweep(int argc, char **argv)
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--levels") {
+            // Sweep-specific superset of the shared flag: accepts a
+            // comma list and turns it into a grid axis.
+            levels_axis.clear();
+            for (const std::size_t v :
+                 parseSizeList(flagValue(argc, argv, i))) {
+                if (v < 1 || v > 3) {
+                    std::fprintf(stderr, "califorms sweep: --levels "
+                                         "entries must be 1..3\n");
+                    return 2;
+                }
+                levels_axis.push_back(static_cast<unsigned>(v));
+            }
+            if (levels_axis.empty()) {
+                std::fprintf(stderr,
+                             "califorms sweep: bad --levels list\n");
+                return 2;
+            }
+            continue;
+        }
+        switch (parseHierarchyFlag(base.machine.mem, arg, argc, argv,
+                                   i)) {
+        case HierFlag::Consumed:
+            continue;
+        case HierFlag::Error:
+            return 2;
+        case HierFlag::NotMine:
+            break;
+        }
         if (arg == "--bench") {
             bench_name = flagValue(argc, argv, i);
         } else if (arg == "--policies") {
@@ -113,6 +151,13 @@ cmdSweep(int argc, char **argv)
         }
     }
 
+    // A single-depth request just reconfigures the base machine; the
+    // grid (and the table shape) only grows for a real axis.
+    if (levels_axis.size() == 1) {
+        base.machine.mem.levels = levels_axis[0];
+        levels_axis.clear();
+    }
+
     exp::CampaignSpec spec;
     spec.name = "sweep";
     spec.base = base;
@@ -133,37 +178,64 @@ cmdSweep(int argc, char **argv)
     struct Row
     {
         std::size_t variant;
-        std::size_t span; //!< 0 = span axis not applicable
+        std::size_t span;    //!< 0 = span axis not applicable
+        unsigned levels;     //!< 0 = depth axis not active
     };
     std::vector<Row> rows;
     for (const InsertionPolicy policy : policies) {
         if (policy == InsertionPolicy::None) {
-            rows.push_back({0, 0});
+            rows.push_back({0, 0, 0});
             continue;
         }
         const auto expanded = exp::CampaignSpec::crossPolicySpans(
             {policy}, maxspans);
         for (const exp::Variant &v : expanded) {
-            rows.push_back({spec.variants.size(), v.maxSpan});
+            rows.push_back({spec.variants.size(), v.maxSpan, 0});
             spec.variants.push_back(v);
         }
+    }
+
+    // Cross the variant list with the hierarchy-depth axis: one block
+    // of variants per depth, each block carrying its own baseline.
+    const std::size_t per_block = spec.variants.size();
+    if (!levels_axis.empty()) {
+        std::vector<Row> expanded;
+        for (std::size_t l = 0; l < levels_axis.size(); ++l)
+            for (const Row &row : rows)
+                expanded.push_back({l * per_block + row.variant,
+                                    row.span, levels_axis[l]});
+        spec.variants = exp::CampaignSpec::crossLevels(spec.variants,
+                                                       levels_axis);
+        rows = std::move(expanded);
     }
 
     const exp::CampaignResult result = exp::runCampaignWithReports(
         spec, jobs, json_path, csv_path);
 
-    TextTable table({"benchmark", "policy", "maxspan", "cycles",
-                     "slowdown"});
+    std::vector<std::string> headers = {"benchmark", "policy",
+                                        "maxspan"};
+    if (!levels_axis.empty())
+        headers.push_back("levels");
+    headers.push_back("cycles");
+    headers.push_back("slowdown");
+    TextTable table(headers);
     for (std::size_t b = 0; b < spec.suite.size(); ++b) {
-        const double baseline = result.meanCycles(b, 0);
         for (const Row &row : rows) {
+            // Slowdown vs the uninstrumented baseline of the same
+            // hierarchy depth (variant block).
+            const std::size_t base_variant =
+                row.variant / per_block * per_block;
+            const double baseline = result.meanCycles(b, base_variant);
             const double cycles = result.meanCycles(b, row.variant);
-            table.addRow(
-                {spec.suite[b]->name,
-                 policyName(spec.variants[row.variant].policy),
-                 row.span ? std::to_string(row.span) : "-",
-                 TextTable::num(cycles, 0),
-                 TextTable::pct(cycles / baseline - 1.0)});
+            std::vector<std::string> cells = {
+                spec.suite[b]->name,
+                policyName(spec.variants[row.variant].policy),
+                row.span ? std::to_string(row.span) : "-"};
+            if (!levels_axis.empty())
+                cells.push_back(std::to_string(row.levels));
+            cells.push_back(TextTable::num(cycles, 0));
+            cells.push_back(TextTable::pct(cycles / baseline - 1.0));
+            table.addRow(cells);
         }
     }
     std::printf("%s", table.render().c_str());

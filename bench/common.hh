@@ -1,7 +1,9 @@
 /**
  * @file common.hh
  * Shared helpers for the figure/table reproduction harnesses: CLI
- * parsing (--scale, --seeds, --jobs, --json/--csv), the campaign-engine
+ * parsing (--scale, --seeds, --jobs, --json/--csv, plus the full
+ * registry surface: --set key=value, --config FILE, and the legacy
+ * alias flags via config::parseCliArg), the campaign-engine
  * glue, and uniform headers so the bench outputs are easy to diff
  * against the expectations documented in EXPERIMENTS.md at the
  * repository root (harness inventory, option semantics, output format).
@@ -22,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "config/config.hh"
 #include "exp/campaign.hh"
 #include "exp/report.hh"
 #include "sim/params.hh"
@@ -41,36 +44,30 @@ struct Options
     std::string jsonPath; //!< --json FILE: machine-readable report
     std::string csvPath;  //!< --csv FILE: one row per run
 
-    // Memory-hierarchy overrides, applied to the campaign base config
-    // so every harness can be re-run on a shallower/differently sized
-    // hierarchy without per-harness plumbing.
-    unsigned levels = 0;  //!< --levels N: 1..3; 0 = keep the default
-    long l2Kb = -1;       //!< --l2-kb N: L2 KB (0 disables); -1 = keep
-    long llcKb = -1;      //!< --llc-kb N: LLC KB (0 disables); -1 = keep
-    long wbQueue = -1;    //!< --wb-queue N: WB queue depth; -1 = keep
-
-    /** Strict non-negative integer parse: exits on junk rather than
-     *  letting atol turn a typo into 0 ("0 disables the L2"). */
-    static long
-    parseCount(const char *flag, const char *text, long max)
-    {
-        const std::string s = text;
-        if (s.empty() ||
-            s.find_first_not_of("0123456789") != std::string::npos ||
-            std::atol(s.c_str()) > max) {
-            std::fprintf(stderr,
-                         "%s expects an integer in [0, %ld], got '%s'\n",
-                         flag, max, text);
-            std::exit(2);
-        }
-        return std::atol(s.c_str());
-    }
+    /**
+     * Registry-backed knob overrides, collected from --set key=value,
+     * --config FILE, and the legacy alias flags (--levels, --l2-kb,
+     * --llc-kb, --wb-queue, ...) and applied to the campaign base
+     * config — so every harness can be re-run on any machine variant
+     * without per-harness plumbing. No private hierarchy parser: the
+     * config ParamRegistry validates every value.
+     */
+    config::Config cfg;
 
     static Options
     parse(int argc, char **argv)
     {
         Options opt;
         for (int i = 1; i < argc; ++i) {
+            switch (config::parseCliArg(opt.cfg, argv[i], argc, argv,
+                                        i, argv[0])) {
+            case config::CliArg::Consumed:
+                continue;
+            case config::CliArg::Error:
+                std::exit(2);
+            case config::CliArg::NotMine:
+                break;
+            }
             if (std::strcmp(argv[i], "--quick") == 0) {
                 opt.quick = true;
                 opt.scale = 0.1;
@@ -92,31 +89,12 @@ struct Options
             } else if (std::strcmp(argv[i], "--csv") == 0 &&
                        i + 1 < argc) {
                 opt.csvPath = argv[++i];
-            } else if (std::strcmp(argv[i], "--levels") == 0 &&
-                       i + 1 < argc) {
-                opt.levels = static_cast<unsigned>(
-                    std::atoi(argv[++i]));
-                if (opt.levels < 1 || opt.levels > 3) {
-                    std::fprintf(stderr,
-                                 "--levels must be 1..3\n");
-                    std::exit(2);
-                }
-            } else if (std::strcmp(argv[i], "--l2-kb") == 0 &&
-                       i + 1 < argc) {
-                opt.l2Kb = parseCount("--l2-kb", argv[++i], 1 << 20);
-            } else if (std::strcmp(argv[i], "--llc-kb") == 0 &&
-                       i + 1 < argc) {
-                opt.llcKb = parseCount("--llc-kb", argv[++i], 1 << 20);
-            } else if (std::strcmp(argv[i], "--wb-queue") == 0 &&
-                       i + 1 < argc) {
-                opt.wbQueue = parseCount("--wb-queue", argv[++i], 512);
             } else if (std::strcmp(argv[i], "--help") == 0) {
                 std::printf("usage: %s [--scale S] [--seeds N] "
                             "[--jobs N] [--quick]\n"
                             "          [--json FILE] [--csv FILE]\n"
-                            "          [--levels N] [--l2-kb N] "
-                            "[--llc-kb N] [--wb-queue N]\n",
-                            argv[0]);
+                            "\n%s\n",
+                            argv[0], config::cliUsage().c_str());
                 std::exit(0);
             }
         }
@@ -125,20 +103,6 @@ struct Options
         if (opt.seeds == 0)
             opt.seeds = 1;
         return opt;
-    }
-
-    /** Apply the hierarchy overrides to a campaign base config. */
-    void
-    applyHierarchy(MemSysParams &mem) const
-    {
-        if (levels)
-            mem.levels = levels;
-        if (l2Kb >= 0)
-            mem.l2Size = static_cast<std::size_t>(l2Kb) * 1024;
-        if (llcKb >= 0)
-            mem.l3Size = static_cast<std::size_t>(llcKb) * 1024;
-        if (wbQueue >= 0)
-            mem.wbQueueEntries = static_cast<unsigned>(wbQueue);
     }
 
     /** The conventional layout-seed list (1000, 1001, ...). */
@@ -197,9 +161,24 @@ fullSuite()
 inline exp::CampaignResult
 runCampaign(const Options &opt, exp::CampaignSpec spec)
 {
+    // The harness grid owns the layout axis (policy/span variants,
+    // the --seeds list): a base-level set of those keys would be
+    // silently overwritten during expand(), so reject it loudly.
+    for (const auto &[key, value] : opt.cfg.entries()) {
+        if (exp::gridOwnedKey(key)) {
+            std::fprintf(stderr,
+                         "%s is owned by this harness's grid and "
+                         "would be silently overridden; it is not a "
+                         "base config knob here\n",
+                         key.c_str());
+            std::exit(2);
+        }
+    }
     spec.base.scale = opt.scale;
     spec.layoutSeeds = opt.layoutSeeds();
-    opt.applyHierarchy(spec.base.machine.mem);
+    // Registry overrides land after the harness's own base tweaks, so
+    // --set / --config / alias flags win over per-harness defaults.
+    opt.cfg.applyTo(spec.base);
     try {
         return exp::runCampaignWithReports(spec, opt.jobs,
                                            opt.jsonPath, opt.csvPath);

@@ -1,0 +1,577 @@
+#include "config/registry.hh"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "layout/policy.hh"
+#include "util/jsonout.hh"
+#include "util/parse.hh"
+
+namespace califorms::config
+{
+
+namespace
+{
+
+/** A UInt knob: @p get/@p set view the field as uint64 (unit scaling,
+ *  e.g. KB <-> bytes, lives inside the accessors). */
+template <typename Get, typename Set>
+ParamSpec
+uintKnob(const char *key, std::uint64_t min, std::uint64_t max,
+         const char *flag, const char *doc, Get get, Set set)
+{
+    ParamSpec s;
+    s.key = key;
+    s.type = ParamType::UInt;
+    s.minU = min;
+    s.maxU = max;
+    s.flag = flag;
+    s.doc = doc;
+    s.apply = [set](RunConfig &rc, const ParamValue &v) {
+        set(rc, std::get<std::uint64_t>(v));
+    };
+    s.read = [get](const RunConfig &rc) {
+        return ParamValue{static_cast<std::uint64_t>(get(rc))};
+    };
+    return s;
+}
+
+template <typename Get, typename Set>
+ParamSpec
+doubleKnob(const char *key, double min, double max, const char *doc,
+           Get get, Set set)
+{
+    ParamSpec s;
+    s.key = key;
+    s.type = ParamType::Double;
+    s.minD = min;
+    s.maxD = max;
+    s.doc = doc;
+    s.apply = [set](RunConfig &rc, const ParamValue &v) {
+        set(rc, std::get<double>(v));
+    };
+    s.read = [get](const RunConfig &rc) {
+        return ParamValue{static_cast<double>(get(rc))};
+    };
+    return s;
+}
+
+template <typename Get, typename Set>
+ParamSpec
+boolKnob(const char *key, const char *doc, Get get, Set set)
+{
+    ParamSpec s;
+    s.key = key;
+    s.type = ParamType::Bool;
+    s.doc = doc;
+    s.apply = [set](RunConfig &rc, const ParamValue &v) {
+        set(rc, std::get<bool>(v));
+    };
+    s.read = [get](const RunConfig &rc) {
+        return ParamValue{static_cast<bool>(get(rc))};
+    };
+    return s;
+}
+
+/** An Enum knob: @p get renders the current name, @p set consumes a
+ *  validated member of @p choices. */
+template <typename Get, typename Set>
+ParamSpec
+enumKnob(const char *key, std::vector<std::string> choices,
+         const char *flag, const char *doc, Get get, Set set)
+{
+    ParamSpec s;
+    s.key = key;
+    s.type = ParamType::Enum;
+    s.choices = std::move(choices);
+    s.flag = flag;
+    s.doc = doc;
+    s.apply = [set](RunConfig &rc, const ParamValue &v) {
+        set(rc, std::get<std::string>(v));
+    };
+    s.read = [get](const RunConfig &rc) {
+        return ParamValue{std::string(get(rc))};
+    };
+    return s;
+}
+
+std::string
+l1FormatName(L1Format format)
+{
+    switch (format) {
+    case L1Format::BitVector8B:
+        return "bitvector";
+    case L1Format::Cal4B:
+        return "cal4b";
+    case L1Format::Cal1B:
+        return "cal1b";
+    }
+    return "?";
+}
+
+L1Format
+l1FormatFromName(const std::string &name)
+{
+    if (name == "bitvector")
+        return L1Format::BitVector8B;
+    if (name == "cal4b")
+        return L1Format::Cal4B;
+    if (name == "cal1b")
+        return L1Format::Cal1B;
+    // Only reachable if the enumKnob choices list drifts from this
+    // table; fail loudly instead of silently running bitvector.
+    throw std::invalid_argument("unknown L1 format name '" + name +
+                                "'");
+}
+
+} // namespace
+
+std::string
+renderValue(const ParamValue &value)
+{
+    struct Render
+    {
+        std::string operator()(std::uint64_t v) const
+        {
+            return std::to_string(v);
+        }
+        std::string operator()(double v) const
+        {
+            return jsonNumber(v);
+        }
+        std::string operator()(bool v) const
+        {
+            return v ? "true" : "false";
+        }
+        std::string operator()(const std::string &v) const { return v; }
+    };
+    return std::visit(Render{}, value);
+}
+
+const char *
+paramTypeName(ParamType type)
+{
+    switch (type) {
+    case ParamType::UInt:
+        return "uint";
+    case ParamType::Double:
+        return "double";
+    case ParamType::Bool:
+        return "bool";
+    case ParamType::Enum:
+        return "enum";
+    }
+    return "?";
+}
+
+const ParamRegistry &
+ParamRegistry::instance()
+{
+    static const ParamRegistry registry;
+    return registry;
+}
+
+ParamRegistry::ParamRegistry()
+{
+    // ----------------------------------------------------------------
+    // mem.* — cache hierarchy and DRAM (MemSysParams, Table 3).
+    // ----------------------------------------------------------------
+    specs_.push_back(uintKnob(
+        "mem.levels", 1, 3, "--levels",
+        "cache hierarchy depth: 1 = L1 only, 2 = +L2, 3 = +L2+LLC",
+        [](const RunConfig &rc) { return rc.machine.mem.levels; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.levels = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.l1_size_kb", 1, 1 << 20, "",
+        "L1 data cache capacity in KB",
+        [](const RunConfig &rc) { return rc.machine.mem.l1Size / 1024; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l1Size = static_cast<std::size_t>(v) * 1024;
+        }));
+    specs_.push_back(uintKnob(
+        "mem.l1_ways", 1, 64, "", "L1 data cache associativity",
+        [](const RunConfig &rc) { return rc.machine.mem.l1Ways; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l1Ways = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.l1_latency", 1, 10000, "",
+        "L1 load-to-use hit latency in cycles",
+        [](const RunConfig &rc) { return rc.machine.mem.l1Latency; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l1Latency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(enumKnob(
+        "mem.l1_format", {"bitvector", "cal4b", "cal1b"}, "--l1",
+        "L1 metadata organization (Table 7 / Appendix A variants)",
+        [](const RunConfig &rc) {
+            return l1FormatName(rc.machine.mem.l1Format);
+        },
+        [](RunConfig &rc, const std::string &name) {
+            rc.machine.mem.l1Format = l1FormatFromName(name);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.l2_size_kb", 0, 1 << 20, "--l2-kb",
+        "L2 capacity in KB; 0 disables the L2",
+        [](const RunConfig &rc) { return rc.machine.mem.l2Size / 1024; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l2Size = static_cast<std::size_t>(v) * 1024;
+        }));
+    specs_.push_back(uintKnob(
+        "mem.l2_ways", 1, 64, "", "L2 associativity",
+        [](const RunConfig &rc) { return rc.machine.mem.l2Ways; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l2Ways = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.l2_latency", 1, 10000, "--l2-lat",
+        "L2 hit latency in cycles",
+        [](const RunConfig &rc) { return rc.machine.mem.l2Latency; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l2Latency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.llc_size_kb", 0, 1 << 20, "--llc-kb",
+        "LLC capacity in KB; 0 disables the LLC",
+        [](const RunConfig &rc) { return rc.machine.mem.l3Size / 1024; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l3Size = static_cast<std::size_t>(v) * 1024;
+        }));
+    specs_.push_back(uintKnob(
+        "mem.llc_ways", 1, 64, "", "LLC associativity",
+        [](const RunConfig &rc) { return rc.machine.mem.l3Ways; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l3Ways = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.llc_latency", 1, 10000, "--llc-lat",
+        "LLC hit latency in cycles",
+        [](const RunConfig &rc) { return rc.machine.mem.l3Latency; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.l3Latency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.dram_latency", 1, 100000, "",
+        "average DRAM load latency in cycles",
+        [](const RunConfig &rc) { return rc.machine.mem.dramLatency; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.dramLatency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.extra_l2l3_latency", 0, 10000, "",
+        "extra cycles on every L2/LLC access (Figure 10 pessimism)",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.extraL2L3Latency;
+        },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.extraL2L3Latency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.fill_conv_latency", 0, 10000, "--fill-conv",
+        "cycles charged per sentinel->bitvector fill conversion",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.fillConvLatency;
+        },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.fillConvLatency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.spill_conv_latency", 0, 10000, "--spill-conv",
+        "cycles charged per bitvector->sentinel spill conversion",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.spillConvLatency;
+        },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.spillConvLatency = static_cast<Cycles>(v);
+        }));
+    // Queue lookups are linear scans on the miss path; depths far
+    // beyond any realistic victim buffer are rejected rather than
+    // silently turning the simulator quadratic.
+    specs_.push_back(uintKnob(
+        "mem.wb_queue_entries", 0, 512, "--wb-queue",
+        "dirty write-back queue depth (0 = immediate write-back)",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.wbQueueEntries;
+        },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.wbQueueEntries = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.wb_hit_latency", 1, 10000, "",
+        "latency of an L1 miss served from the write-back queue",
+        [](const RunConfig &rc) { return rc.machine.mem.wbHitLatency; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.wbHitLatency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(boolKnob(
+        "mem.next_line_prefetch",
+        "next-line prefetch into the L2 on L1 misses",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.nextLinePrefetch;
+        },
+        [](RunConfig &rc, bool v) {
+            rc.machine.mem.nextLinePrefetch = v;
+        }));
+
+    // ----------------------------------------------------------------
+    // core.* — out-of-order core approximation (CoreParams).
+    // ----------------------------------------------------------------
+    specs_.push_back(uintKnob(
+        "core.issue_width", 1, 64, "", "max ops retired per cycle",
+        [](const RunConfig &rc) { return rc.machine.core.issueWidth; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.core.issueWidth = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "core.mlp", 1, 1024, "",
+        "overlap factor for independent misses",
+        [](const RunConfig &rc) { return rc.machine.core.mlp; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.core.mlp = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(doubleKnob(
+        "core.store_miss_weight", 0.0, 1.0,
+        "fraction of store miss latency exposed to the window",
+        [](const RunConfig &rc) {
+            return rc.machine.core.storeMissWeight;
+        },
+        [](RunConfig &rc, double v) {
+            rc.machine.core.storeMissWeight = v;
+        }));
+    specs_.push_back(doubleKnob(
+        "core.cform_miss_weight", 0.0, 1.0,
+        "fraction of CFORM miss latency exposed (Section 5.3)",
+        [](const RunConfig &rc) {
+            return rc.machine.core.cformMissWeight;
+        },
+        [](RunConfig &rc, double v) {
+            rc.machine.core.cformMissWeight = v;
+        }));
+    specs_.push_back(doubleKnob(
+        "core.dram_cycles_per_line", 0.0, 1000.0,
+        "DRAM bandwidth roofline: core cycles per line moved",
+        [](const RunConfig &rc) {
+            return rc.machine.core.dramCyclesPerLine;
+        },
+        [](RunConfig &rc, double v) {
+            rc.machine.core.dramCyclesPerLine = v;
+        }));
+
+    // ----------------------------------------------------------------
+    // layout.* — security byte insertion (InsertionPolicy +
+    // PolicyParams + the layout randomization seed).
+    // ----------------------------------------------------------------
+    // Choices derive from policyName() (plus the historical CLI
+    // spelling "fixed"), so the vocabulary cannot drift from the
+    // parsePolicyName table in src/layout/policy.cc.
+    specs_.push_back(enumKnob(
+        "layout.policy",
+        {policyName(InsertionPolicy::None),
+         policyName(InsertionPolicy::Opportunistic),
+         policyName(InsertionPolicy::Full),
+         policyName(InsertionPolicy::Intelligent), "fixed",
+         policyName(InsertionPolicy::FullFixed)},
+        "--policy", "security byte insertion policy (Listing 1)",
+        [](const RunConfig &rc) { return policyName(rc.policy); },
+        [](RunConfig &rc, const std::string &name) {
+            // value() (not *) so a choices/parse table mismatch is a
+            // loud exception instead of undefined behaviour.
+            rc.policy = parsePolicyName(name).value();
+        }));
+    specs_.push_back(uintKnob(
+        "layout.min_span", 1, 64, "",
+        "minimum random security span size in bytes",
+        [](const RunConfig &rc) { return rc.policyParams.minSpan; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.policyParams.minSpan = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "layout.max_span", 1, 64, "",
+        "maximum random security span size in bytes (Section 8.2 "
+        "sweeps 3/5/7)",
+        [](const RunConfig &rc) { return rc.policyParams.maxSpan; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.policyParams.maxSpan = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "layout.fixed_span", 1, 64, "",
+        "span size for the full-fixed policy (Figure 4)",
+        [](const RunConfig &rc) { return rc.policyParams.fixedSpan; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.policyParams.fixedSpan = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "layout.seed", 0, std::numeric_limits<std::uint64_t>::max(),
+        "", "layout randomization seed (one seed = one compiled binary)",
+        [](const RunConfig &rc) { return rc.layoutSeed; },
+        [](RunConfig &rc, std::uint64_t v) { rc.layoutSeed = v; }));
+
+    // ----------------------------------------------------------------
+    // heap.* / stack.* — allocator behaviour (HeapParams/StackParams).
+    // ----------------------------------------------------------------
+    specs_.push_back(uintKnob(
+        "heap.guard_bytes", 0, 4096, "",
+        "inter-object guard bytes on each side of a heap allocation",
+        [](const RunConfig &rc) { return rc.heap.guardBytes; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.heap.guardBytes = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(doubleKnob(
+        "heap.quarantine_fraction", 0.0, 1.0,
+        "freed-block quarantine as a fraction of peak heap (0 "
+        "disables)",
+        [](const RunConfig &rc) { return rc.heap.quarantineFraction; },
+        [](RunConfig &rc, double v) {
+            rc.heap.quarantineFraction = v;
+        }));
+    specs_.push_back(boolKnob(
+        "heap.use_cform",
+        "issue CFORM instructions for heap security bytes",
+        [](const RunConfig &rc) { return rc.heap.useCform; },
+        [](RunConfig &rc, bool v) { rc.heap.useCform = v; }));
+    specs_.push_back(boolKnob(
+        "heap.non_temporal_cform",
+        "use the streaming (non-temporal) CFORM variant on the heap",
+        [](const RunConfig &rc) { return rc.heap.nonTemporalCform; },
+        [](RunConfig &rc, bool v) { rc.heap.nonTemporalCform = v; }));
+    specs_.push_back(boolKnob(
+        "stack.use_cform",
+        "issue CFORM instructions for stack-local security bytes",
+        [](const RunConfig &rc) { return rc.stack.useCform; },
+        [](RunConfig &rc, bool v) { rc.stack.useCform = v; }));
+
+    // ----------------------------------------------------------------
+    // run.* — experiment control.
+    // ----------------------------------------------------------------
+    specs_.push_back(doubleKnob(
+        "run.scale", 0.001, 100.0,
+        "workload iteration multiplier (1.0 = full bench size)",
+        [](const RunConfig &rc) { return rc.scale; },
+        [](RunConfig &rc, double v) { rc.scale = v; }));
+    specs_.push_back(uintKnob(
+        "run.kernel_seed", 0,
+        std::numeric_limits<std::uint64_t>::max(), "",
+        "kernel work seed (keep fixed across configurations)",
+        [](const RunConfig &rc) { return rc.kernelSeed; },
+        [](RunConfig &rc, std::uint64_t v) { rc.kernelSeed = v; }));
+
+    // Defaults are captured from a default RunConfig through each
+    // spec's own accessor: the registry cannot disagree with the
+    // params structs about what the Table 3 machine is.
+    const RunConfig defaults{};
+    for (ParamSpec &spec : specs_)
+        spec.def = spec.read(defaults);
+}
+
+const ParamSpec *
+ParamRegistry::find(const std::string &key) const
+{
+    for (const ParamSpec &spec : specs_)
+        if (spec.key == key)
+            return &spec;
+    return nullptr;
+}
+
+const ParamSpec *
+ParamRegistry::findFlag(const std::string &flag) const
+{
+    if (flag.empty())
+        return nullptr;
+    for (const ParamSpec &spec : specs_)
+        if (spec.flag == flag)
+            return &spec;
+    return nullptr;
+}
+
+std::optional<ParamValue>
+ParamRegistry::parse(const ParamSpec &spec, const std::string &text,
+                     std::string &error) const
+{
+    switch (spec.type) {
+    case ParamType::UInt: {
+        const auto v = parseU64(text);
+        if (!v || *v < spec.minU || *v > spec.maxU) {
+            error = spec.key + " expects an integer in [" +
+                    std::to_string(spec.minU) + ", " +
+                    std::to_string(spec.maxU) + "], got '" + text +
+                    "'";
+            return std::nullopt;
+        }
+        return ParamValue{*v};
+    }
+    case ParamType::Double: {
+        const auto v = parseDouble(text);
+        if (!v || *v < spec.minD || *v > spec.maxD) {
+            error = spec.key + " expects a number in [" +
+                    jsonNumber(spec.minD) + ", " +
+                    jsonNumber(spec.maxD) + "], got '" + text +
+                    "'";
+            return std::nullopt;
+        }
+        return ParamValue{*v};
+    }
+    case ParamType::Bool: {
+        const auto v = parseBool(text);
+        if (!v) {
+            error = spec.key + " expects true/false, got '" + text +
+                    "'";
+            return std::nullopt;
+        }
+        return ParamValue{*v};
+    }
+    case ParamType::Enum: {
+        for (const std::string &choice : spec.choices)
+            if (text == choice)
+                return ParamValue{text};
+        error = spec.key + " expects one of {";
+        for (std::size_t i = 0; i < spec.choices.size(); ++i)
+            error += (i ? ", " : "") + spec.choices[i];
+        error += "}, got '" + text + "'";
+        return std::nullopt;
+    }
+    }
+    error = "unreachable";
+    return std::nullopt;
+}
+
+std::string
+ParamRegistry::schemaJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"califorms-config/v1\",\n"
+       << "  \"params\": [\n";
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const ParamSpec &spec = specs_[i];
+        os << "    {\"key\": " << jsonString(spec.key)
+           << ", \"type\": \"" << paramTypeName(spec.type) << "\""
+           << ", \"default\": ";
+        if (spec.type == ParamType::Enum)
+            os << jsonString(renderValue(spec.def));
+        else
+            os << renderValue(spec.def);
+        if (spec.type == ParamType::UInt)
+            os << ", \"min\": " << spec.minU
+               << ", \"max\": " << spec.maxU;
+        else if (spec.type == ParamType::Double)
+            os << ", \"min\": " << jsonNumber(spec.minD)
+               << ", \"max\": " << jsonNumber(spec.maxD);
+        if (spec.type == ParamType::Enum) {
+            os << ", \"choices\": [";
+            for (std::size_t c = 0; c < spec.choices.size(); ++c)
+                os << (c ? ", " : "") << jsonString(spec.choices[c]);
+            os << "]";
+        }
+        os << ",\n     \"flag\": "
+           << (spec.flag.empty() ? std::string("null")
+                                 : jsonString(spec.flag))
+           << ", \"doc\": " << jsonString(spec.doc) << "}"
+           << (i + 1 < specs_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace califorms::config

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "config/config.hh"
 #include "layout/policy.hh"
 
 namespace califorms::exp
@@ -16,6 +17,13 @@ policyUsesSpans(InsertionPolicy policy)
     return policy == InsertionPolicy::Full ||
            policy == InsertionPolicy::Intelligent ||
            policy == InsertionPolicy::FullFixed;
+}
+
+bool
+gridOwnedKey(const std::string &key)
+{
+    return key == "layout.policy" || key == "layout.seed" ||
+           key == "layout.max_span" || key == "layout.fixed_span";
 }
 
 std::vector<std::uint64_t>
@@ -75,6 +83,39 @@ CampaignSpec::crossLevels(const std::vector<Variant> &variants,
     return out;
 }
 
+Variant &
+Variant::withSet(const std::string &key, const std::string &value)
+{
+    const config::ParamRegistry &registry =
+        config::ParamRegistry::instance();
+    const config::ParamSpec *spec = registry.find(key);
+    if (!spec)
+        throw std::invalid_argument("unknown config key '" + key +
+                                    "'");
+    std::string error;
+    if (!registry.parse(*spec, value, error))
+        throw std::invalid_argument(error);
+    sets.emplace_back(key, value);
+    return *this;
+}
+
+std::vector<Variant>
+CampaignSpec::crossKey(const std::vector<Variant> &variants,
+                       const std::string &key,
+                       const std::vector<std::string> &values)
+{
+    std::vector<Variant> out;
+    for (const std::string &value : values) {
+        for (const Variant &base : variants) {
+            Variant v = base;
+            v.label += "@" + key + "=" + value;
+            v.withSet(key, value);
+            out.push_back(std::move(v));
+        }
+    }
+    return out;
+}
+
 std::vector<RunUnit>
 CampaignSpec::expand() const
 {
@@ -110,6 +151,22 @@ CampaignSpec::expand() const
                     unit.config.machine.mem.l3Size =
                         *variant.llcKb * 1024;
                 unit.config.layoutSeed = layoutSeeds[s];
+                if (!variant.sets.empty()) {
+                    // Registry axis: validated key=value overrides
+                    // (withSet/crossKey reject bad entries eagerly;
+                    // hand-filled sets fail here instead). Applied
+                    // after the seed-list assignment so a
+                    // layout.seed set/axis actually takes effect —
+                    // the report embeds these as applied config, so
+                    // they must win over the implicit seed axis.
+                    config::Config cfg;
+                    for (const auto &[key, value] : variant.sets)
+                        if (const auto error = cfg.set(key, value))
+                            throw std::invalid_argument(
+                                "variant '" + variant.label + "': " +
+                                *error);
+                    cfg.applyTo(unit.config);
+                }
                 if (variant.tweak)
                     variant.tweak(unit.config);
                 units.push_back(std::move(unit));

@@ -65,10 +65,36 @@ struct Variant
     unsigned levels = 0;              //!< 0 = keep the base depth
     std::optional<std::size_t> l2Kb;  //!< L2 capacity in KB; 0 disables
     std::optional<std::size_t> llcKb; //!< LLC capacity in KB; 0 disables
+
+    /**
+     * Registry-key overrides ("core.mlp" = "16", ...): any knob in the
+     * config ParamRegistry is a grid dimension. Validated eagerly by
+     * crossKey()/withSet(); applied during expand() after the
+     * declarative fields and the seed-list assignment (so a
+     * layout.seed override really applies — note the campaign seed
+     * axis then repeats the same seed), before tweak. Reports embed
+     * these as the variant's resolved non-default config (v2 only;
+     * variants without sets serialize exactly as before).
+     */
+    std::vector<std::pair<std::string, std::string>> sets;
+
+    /** Append one validated key=value override; throws
+     *  std::invalid_argument on an unknown key or bad value. */
+    Variant &withSet(const std::string &key, const std::string &value);
 };
 
 /** True for policies whose layout depends on the span-size axis. */
 bool policyUsesSpans(InsertionPolicy policy);
+
+/**
+ * True for registry keys owned by a campaign grid itself — policy,
+ * seed, and the span sizes come from the variant list and the seed
+ * axis, so a base-level config set of these would be silently
+ * overwritten during expand(). Grid drivers (califorms sweep, the
+ * bench harnesses) reject them; sweeping them as an explicit variant
+ * axis (Variant::sets) still works.
+ */
+bool gridOwnedKey(const std::string &key);
 
 /** One expanded grid cell, tagged with its position. */
 struct RunUnit
@@ -115,6 +141,19 @@ struct CampaignSpec
     static std::vector<Variant>
     crossLevels(const std::vector<Variant> &variants,
                 const std::vector<unsigned> &levels);
+
+    /**
+     * Cross @p variants with an arbitrary registered config key: one
+     * copy of every variant per entry of @p values, labelled
+     * "label@key=value", value-major (all variants at the first value,
+     * then the next) — the axis shape of crossLevels, but over any
+     * knob in the ParamRegistry. Throws std::invalid_argument on an
+     * unknown key or an out-of-bounds value.
+     */
+    static std::vector<Variant>
+    crossKey(const std::vector<Variant> &variants,
+             const std::string &key,
+             const std::vector<std::string> &values);
 
     /** Flatten to units, benchmark-major then variant then seed. */
     std::vector<RunUnit> expand() const;

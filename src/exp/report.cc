@@ -8,67 +8,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "config/config.hh"
 #include "layout/policy.hh"
 #include "sim/stats_dump.hh"
+#include "util/jsonout.hh"
 
 namespace califorms::exp
 {
 
 namespace
 {
-
-/** Shortest decimal form that round-trips to the same double. */
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "0";
-    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%lld",
-                      static_cast<long long>(v));
-        return buf;
-    }
-    char buf[40];
-    for (int prec = 1; prec <= 17; ++prec) {
-        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-        if (std::strtod(buf, nullptr) == v)
-            break;
-    }
-    return buf;
-}
-
-std::string
-jsonString(const std::string &s)
-{
-    std::string out = "\"";
-    for (const char c : s) {
-        switch (c) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        case '\t':
-            out += "\\t";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-    return out;
-}
 
 std::string
 u64(std::uint64_t v)
@@ -89,6 +38,34 @@ csvField(const std::string &s)
             out += '"';
     }
     out += '"';
+    return out;
+}
+
+/**
+ * The resolved non-default configuration of a registry-axis variant as
+ * a JSON object (typed values, registry key order). Only variants with
+ * explicit key=value sets have one — every other variant serializes
+ * exactly as it did before the config registry existed.
+ */
+std::string
+variantConfigJson(const Variant &variant)
+{
+    config::Config cfg;
+    for (const auto &[key, value] : variant.sets)
+        cfg.set(key, value); // validated at withSet/expand time
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, text] : cfg.entries()) {
+        const config::ParamSpec *spec =
+            config::ParamRegistry::instance().find(key);
+        out += first ? "" : ", ";
+        out += jsonString(key) + ": ";
+        out += spec->type == config::ParamType::Enum
+                   ? jsonString(text)
+                   : text;
+        first = false;
+    }
+    out += "}";
     return out;
 }
 
@@ -192,6 +169,8 @@ campaignJson(const CampaignResult &result, const ReportTiming &timing,
                 os << *v.llcKb;
             else
                 os << "null";
+            if (!v.sets.empty())
+                os << ", \"config\": " << variantConfigJson(v);
         }
         os << "}" << (i + 1 < spec.variants.size() ? "," : "") << "\n";
     }

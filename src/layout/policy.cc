@@ -26,6 +26,22 @@ policyName(InsertionPolicy policy)
     return "?";
 }
 
+std::optional<InsertionPolicy>
+parsePolicyName(const std::string &name)
+{
+    if (name == "none")
+        return InsertionPolicy::None;
+    if (name == "opportunistic")
+        return InsertionPolicy::Opportunistic;
+    if (name == "full")
+        return InsertionPolicy::Full;
+    if (name == "intelligent")
+        return InsertionPolicy::Intelligent;
+    if (name == "fixed" || name == "full-fixed")
+        return InsertionPolicy::FullFixed;
+    return std::nullopt;
+}
+
 std::size_t
 SecureLayout::securityByteCount() const
 {

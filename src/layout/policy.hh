@@ -21,6 +21,7 @@
 #define CALIFORMS_LAYOUT_POLICY_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,10 @@ enum class InsertionPolicy
 
 /** Human-readable policy name for reports. */
 std::string policyName(InsertionPolicy policy);
+
+/** Inverse of policyName (plus the historical CLI spelling "fixed" for
+ *  FullFixed); std::nullopt if unknown. */
+std::optional<InsertionPolicy> parsePolicyName(const std::string &name);
 
 /** A run of security bytes inside a secure layout. */
 struct SecuritySpan

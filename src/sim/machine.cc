@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "config/config.hh"
+
 namespace califorms
 {
 
@@ -53,36 +55,30 @@ Machine::clearStats()
 std::string
 describeParams(const MachineParams &params)
 {
+    // Rendered from the config ParamRegistry: every registered
+    // machine knob prints, resolved against @p params, so this
+    // Table 3 style listing cannot drift from the actual knob set —
+    // a knob added to the registry appears here automatically.
+    RunConfig rc;
+    rc.machine = params;
     std::ostringstream os;
-    os << "Core        x86-64 Westmere-like OoO approximation, width "
-       << params.core.issueWidth << ", MLP " << params.core.mlp << "\n"
-       << "L1 data     " << params.mem.l1Size / 1024 << "KB, "
-       << params.mem.l1Ways << "-way, " << params.mem.l1Latency
-       << "-cycle latency\n";
-    if (params.mem.levels >= 2 && params.mem.l2Size)
-        os << "L2 cache    " << params.mem.l2Size / 1024 << "KB, "
-           << params.mem.l2Ways << "-way, " << params.mem.l2Latency
-           << "-cycle latency\n";
-    else
-        os << "L2 cache    disabled\n";
-    if (params.mem.levels >= 3 && params.mem.l3Size)
-        os << "LLC         " << params.mem.l3Size / 1024 << "KB, "
-           << params.mem.l3Ways << "-way, " << params.mem.l3Latency
-           << "-cycle latency\n";
-    else
-        os << "LLC         disabled\n";
-    os << "DRAM        " << params.mem.dramLatency << "-cycle latency\n";
-    if (params.mem.extraL2L3Latency)
-        os << "Extra L2/L3 latency: +" << params.mem.extraL2L3Latency
-           << " cycle(s)\n";
-    if (params.mem.fillConvLatency || params.mem.spillConvLatency)
-        os << "Conversion  fill +" << params.mem.fillConvLatency
-           << ", spill +" << params.mem.spillConvLatency
-           << " cycle(s)\n";
-    if (params.mem.wbQueueEntries)
-        os << "WB queue    " << params.mem.wbQueueEntries
-           << " entries, hit latency " << params.mem.wbHitLatency
-           << "\n";
+    os << "machine configuration (x86-64 Westmere-like OoO core, "
+          "Table 3 defaults; * = non-default)\n";
+    for (const config::ParamSpec &spec :
+         config::ParamRegistry::instance().specs()) {
+        const bool machine_knob =
+            spec.key.rfind("mem.", 0) == 0 ||
+            spec.key.rfind("core.", 0) == 0;
+        if (!machine_knob)
+            continue;
+        const config::ParamValue value = spec.read(rc);
+        std::string cell =
+            spec.key + " = " + config::renderValue(value);
+        if (cell.size() < 34)
+            cell.resize(34, ' ');
+        os << (value == spec.def ? "  " : "* ") << cell << " "
+           << spec.doc << "\n";
+    }
     return os.str();
 }
 

@@ -3,6 +3,13 @@
  * Simulated machine configuration, defaulted to Table 3: an Intel
  * Westmere-like out-of-order core at 2.27GHz with a three level cache
  * hierarchy and DDR3-1333 DRAM.
+ *
+ * Every field here is registered in the typed parameter registry
+ * (src/config/registry.cc) under a dotted key (mem.*, core.*) with
+ * bounds and documentation; add new knobs there too, or the
+ * Registry/describeParams tests and the golden schema gate will not
+ * know about them. The registry captures its defaults by reading
+ * these structs, so the values below stay the single source of truth.
  */
 
 #ifndef CALIFORMS_SIM_PARAMS_HH
@@ -152,7 +159,10 @@ struct MachineParams
     CoreParams core;
 };
 
-/** Render the configuration as a Table 3 style listing. */
+/** Render the configuration as a Table 3 style listing. Generated
+ *  from the parameter registry (every mem. and core. knob, resolved
+ *  against @p params, non-defaults flagged), so the listing cannot
+ *  drift from the actual knob set. */
 std::string describeParams(const MachineParams &params);
 
 } // namespace califorms

@@ -1,0 +1,29 @@
+/**
+ * @file jsonout.hh
+ * Deterministic JSON fragment rendering shared by every JSON emitter
+ * (campaign reports, the config registry schema). One implementation,
+ * so escaping and number formatting cannot drift between producers —
+ * the golden-pinned reports and schema both flow through these.
+ */
+
+#ifndef CALIFORMS_UTIL_JSONOUT_HH
+#define CALIFORMS_UTIL_JSONOUT_HH
+
+#include <string>
+
+namespace califorms
+{
+
+/** Quote and escape @p s as a JSON string literal. */
+std::string jsonString(const std::string &s);
+
+/**
+ * Shortest decimal form that round-trips to the same double; integral
+ * values print without a decimal point. Deterministic across runs and
+ * platforms (no locale, no excess digits).
+ */
+std::string jsonNumber(double v);
+
+} // namespace califorms
+
+#endif // CALIFORMS_UTIL_JSONOUT_HH

@@ -1,0 +1,81 @@
+#include "util/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace califorms
+{
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::optional<std::vector<std::size_t>>
+parseSizeList(const std::string &csv)
+{
+    std::vector<std::size_t> out;
+    for (const std::string &item : splitCsv(csv)) {
+        const auto value = parseU64(item);
+        if (!value)
+            return std::nullopt;
+        out.push_back(static_cast<std::size_t>(*value));
+    }
+    return out;
+}
+
+std::optional<std::uint64_t>
+parseU64(const std::string &text)
+{
+    // Digits only: strtoull would silently wrap "-3" to a huge value
+    // and accept leading whitespace.
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return std::nullopt;
+    errno = 0;
+    const std::uint64_t value =
+        std::strtoull(text.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+        return std::nullopt;
+    return value;
+}
+
+std::optional<double>
+parseDouble(const std::string &text)
+{
+    if (text.empty() || std::isspace(static_cast<unsigned char>(
+                            text.front())))
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || errno == ERANGE ||
+        !std::isfinite(value))
+        return std::nullopt;
+    return value;
+}
+
+std::optional<bool>
+parseBool(const std::string &text)
+{
+    if (text == "true" || text == "1" || text == "on" || text == "yes")
+        return true;
+    if (text == "false" || text == "0" || text == "off" ||
+        text == "no")
+        return false;
+    return std::nullopt;
+}
+
+} // namespace califorms

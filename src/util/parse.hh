@@ -1,0 +1,47 @@
+/**
+ * @file parse.hh
+ * Strict text-to-number parsing shared by the CLI drivers, the bench
+ * harnesses, and the config subsystem. Every function here reports
+ * malformed input explicitly (std::optional / bool) instead of the
+ * strtol-family convention of silently returning 0 or wrapping
+ * negatives — a typo'd flag value must never masquerade as a valid
+ * configuration.
+ */
+
+#ifndef CALIFORMS_UTIL_PARSE_HH
+#define CALIFORMS_UTIL_PARSE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace califorms
+{
+
+/** Split a comma-separated list into items (empty items preserved). */
+std::vector<std::string> splitCsv(const std::string &csv);
+
+/**
+ * Parse "3,5,7"-style unsigned integer lists. std::nullopt on malformed
+ * input (empty items, junk, negative numbers) — distinguishable from a
+ * legitimately empty list, unlike the old empty-vector convention.
+ */
+std::optional<std::vector<std::size_t>>
+parseSizeList(const std::string &csv);
+
+/** Strict decimal unsigned parse; nullopt on junk (including
+ *  negatives, leading '+', embedded spaces, and overflow). */
+std::optional<std::uint64_t> parseU64(const std::string &text);
+
+/** Strict finite-double parse; nullopt unless the whole string is one
+ *  floating point literal. */
+std::optional<double> parseDouble(const std::string &text);
+
+/** Parse true/false/1/0/on/off/yes/no (case-sensitive, the config
+ *  file vocabulary); nullopt otherwise. */
+std::optional<bool> parseBool(const std::string &text);
+
+} // namespace califorms
+
+#endif // CALIFORMS_UTIL_PARSE_HH

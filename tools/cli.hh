@@ -1,15 +1,20 @@
 /**
  * @file cli.hh
  * The unified `califorms` command line driver. One entrypoint shared by
- * CI, the benches, and users, with four subcommands:
+ * CI, the benches, and users, with five subcommands:
  *
  *   run     execute a workload through the full machine model
  *   attack  replay the Section 7.3 security scenarios
  *   sweep   iterate layout policies over a benchmark (policy harness)
  *   trace   generate and replay plain-text sim traces
+ *   config  inspect the typed parameter registry and resolved configs
  *
- * Each cmd* function receives argv positioned after the subcommand word
- * and returns a process exit code.
+ * Every subcommand accepts `--set key=value` (repeatable) and
+ * `--config FILE` over the src/config ParamRegistry; the historical
+ * flags (--levels, --l2-kb, --policy, ...) are registry aliases of
+ * their dotted keys, parsed by config::parseCliArg. Each cmd* function
+ * receives argv positioned after the subcommand word and returns a
+ * process exit code.
  */
 
 #ifndef CALIFORMS_TOOLS_CLI_HH
@@ -20,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "config/config.hh"
 #include "layout/policy.hh"
 #include "sim/params.hh"
+#include "util/parse.hh"
 
 namespace califorms::cli
 {
@@ -30,41 +37,22 @@ int cmdRun(int argc, char **argv);
 int cmdAttack(int argc, char **argv);
 int cmdSweep(int argc, char **argv);
 int cmdTrace(int argc, char **argv);
+int cmdConfig(int argc, char **argv);
 
 /** Parse a policy name (none|opportunistic|full|intelligent|fixed);
- *  std::nullopt if unknown. */
+ *  std::nullopt if unknown. Delegates to parsePolicyName — the same
+ *  vocabulary the layout.policy registry knob accepts. */
 std::optional<InsertionPolicy> parsePolicy(const std::string &name);
-
-/** Split a comma-separated list into items (empty items preserved). */
-std::vector<std::string> splitCsv(const std::string &csv);
-
-/** Parse "3,5,7"-style unsigned integer lists; empty on malformed
- *  input (including negative numbers). */
-std::vector<std::size_t> parseSizeList(const std::string &csv);
 
 /** Fetch the value after a "--flag value" pair; advances @p i. Exits
  *  with an error message if the value is missing. */
 const char *flagValue(int argc, char **argv, int &i);
 
-/**
- * Recognize and apply one memory-hierarchy flag shared by `run` and
- * `sweep` (--levels N, --l2-kb N, --llc-kb N, --l2-lat N, --llc-lat N,
- * --fill-conv N, --spill-conv N, --wb-queue N). Returns Consumed when
- * @p arg was a hierarchy flag and was applied to @p mem, NotMine when
- * it is some other flag, and Error (message already printed) on a bad
- * value.
- */
-enum class HierFlag
-{
-    NotMine,
-    Consumed,
-    Error,
-};
-HierFlag parseHierarchyFlag(MemSysParams &mem, const std::string &arg,
-                            int argc, char **argv, int &i);
-
-/** The usage lines for the shared hierarchy flags. */
-const char *hierarchyUsage();
+/** cfg.set(key, text) with the uniform "<prog>: <flag>: <error>"
+ *  diagnostic; false when the value was rejected. */
+bool setOrReport(config::Config &cfg, const char *prog,
+                 const std::string &flag, const std::string &key,
+                 const std::string &text);
 
 } // namespace califorms::cli
 

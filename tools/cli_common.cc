@@ -1,6 +1,8 @@
 /**
  * @file cli_common.cc
  * Shared argument parsing helpers for the califorms CLI subcommands.
+ * Knob parsing itself lives in src/config (the ParamRegistry and
+ * config::parseCliArg); only the truly CLI-local helpers remain here.
  */
 
 #include "cli.hh"
@@ -14,47 +16,7 @@ namespace califorms::cli
 std::optional<InsertionPolicy>
 parsePolicy(const std::string &name)
 {
-    if (name == "none")
-        return InsertionPolicy::None;
-    if (name == "opportunistic")
-        return InsertionPolicy::Opportunistic;
-    if (name == "full")
-        return InsertionPolicy::Full;
-    if (name == "intelligent")
-        return InsertionPolicy::Intelligent;
-    if (name == "fixed")
-        return InsertionPolicy::FullFixed;
-    return std::nullopt;
-}
-
-std::vector<std::string>
-splitCsv(const std::string &csv)
-{
-    std::vector<std::string> out;
-    std::size_t pos = 0;
-    while (pos <= csv.size()) {
-        std::size_t comma = csv.find(',', pos);
-        if (comma == std::string::npos)
-            comma = csv.size();
-        out.push_back(csv.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return out;
-}
-
-std::vector<std::size_t>
-parseSizeList(const std::string &csv)
-{
-    std::vector<std::size_t> out;
-    for (const std::string &item : splitCsv(csv)) {
-        // Digits only: strtoul would silently wrap "-3" to a huge value.
-        if (item.empty() ||
-            item.find_first_not_of("0123456789") != std::string::npos)
-            return {};
-        out.push_back(static_cast<std::size_t>(
-            std::strtoul(item.c_str(), nullptr, 10)));
-    }
-    return out;
+    return parsePolicyName(name);
 }
 
 const char *
@@ -67,106 +29,17 @@ flagValue(int argc, char **argv, int &i)
     return argv[++i];
 }
 
-namespace
-{
-
-/** Strict unsigned parse; false on junk (including negatives). */
 bool
-parseU64(const char *text, std::uint64_t &out)
+setOrReport(config::Config &cfg, const char *prog,
+            const std::string &flag, const std::string &key,
+            const std::string &text)
 {
-    const std::string s = text;
-    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    if (const auto error = cfg.set(key, text)) {
+        std::fprintf(stderr, "%s: %s: %s\n", prog, flag.c_str(),
+                     error->c_str());
         return false;
-    out = std::strtoull(s.c_str(), nullptr, 10);
-    return true;
-}
-
-} // namespace
-
-HierFlag
-parseHierarchyFlag(MemSysParams &mem, const std::string &arg, int argc,
-                   char **argv, int &i)
-{
-    struct Knob
-    {
-        const char *flag;
-        std::uint64_t min, max;
-        void (*apply)(MemSysParams &, std::uint64_t);
-    };
-    static const Knob knobs[] = {
-        {"--levels", 1, 3,
-         [](MemSysParams &m, std::uint64_t v) {
-             m.levels = static_cast<unsigned>(v);
-         }},
-        {"--l2-kb", 0, 1 << 20,
-         [](MemSysParams &m, std::uint64_t v) {
-             m.l2Size = static_cast<std::size_t>(v) * 1024;
-         }},
-        {"--llc-kb", 0, 1 << 20,
-         [](MemSysParams &m, std::uint64_t v) {
-             m.l3Size = static_cast<std::size_t>(v) * 1024;
-         }},
-        {"--l2-lat", 1, 10000,
-         [](MemSysParams &m, std::uint64_t v) {
-             m.l2Latency = static_cast<Cycles>(v);
-         }},
-        {"--llc-lat", 1, 10000,
-         [](MemSysParams &m, std::uint64_t v) {
-             m.l3Latency = static_cast<Cycles>(v);
-         }},
-        {"--fill-conv", 0, 10000,
-         [](MemSysParams &m, std::uint64_t v) {
-             m.fillConvLatency = static_cast<Cycles>(v);
-         }},
-        {"--spill-conv", 0, 10000,
-         [](MemSysParams &m, std::uint64_t v) {
-             m.spillConvLatency = static_cast<Cycles>(v);
-         }},
-        // Queue lookups are linear scans on the miss path; depths far
-        // beyond any realistic victim buffer are rejected rather than
-        // silently turning the simulator quadratic.
-        {"--wb-queue", 0, 512,
-         [](MemSysParams &m, std::uint64_t v) {
-             m.wbQueueEntries = static_cast<unsigned>(v);
-         }},
-    };
-    for (const Knob &knob : knobs) {
-        if (arg != knob.flag)
-            continue;
-        std::uint64_t value = 0;
-        const char *text = flagValue(argc, argv, i);
-        if (!parseU64(text, value) || value < knob.min ||
-            value > knob.max) {
-            std::fprintf(stderr,
-                         "califorms: %s expects an integer in [%llu, "
-                         "%llu], got '%s'\n",
-                         knob.flag,
-                         static_cast<unsigned long long>(knob.min),
-                         static_cast<unsigned long long>(knob.max),
-                         text);
-            return HierFlag::Error;
-        }
-        knob.apply(mem, value);
-        return HierFlag::Consumed;
     }
-    return HierFlag::NotMine;
-}
-
-const char *
-hierarchyUsage()
-{
-    return "  --levels N      cache levels: 1 = L1 only, 2 = +L2, "
-           "3 = +L2+LLC (default 3)\n"
-           "  --l2-kb N       L2 capacity in KB; 0 disables the L2\n"
-           "  --llc-kb N      LLC capacity in KB; 0 disables the LLC\n"
-           "  --l2-lat N      L2 hit latency in cycles\n"
-           "  --llc-lat N     LLC hit latency in cycles\n"
-           "  --fill-conv N   cycles charged per sentinel->bitvector "
-           "fill conversion\n"
-           "  --spill-conv N  cycles charged per bitvector->sentinel "
-           "spill conversion\n"
-           "  --wb-queue N    dirty write-back queue depth (0 = "
-           "immediate write-back)";
+    return true;
 }
 
 } // namespace califorms::cli

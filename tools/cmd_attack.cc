@@ -22,18 +22,24 @@ namespace califorms::cli
 namespace
 {
 
+constexpr const char *prog = "califorms attack";
+
 void
 usage()
 {
-    std::puts(
+    std::printf(
         "usage: califorms attack <scan|probe|brop|all> [options]\n"
         "\n"
         "options:\n"
-        "  --policy P    insertion policy for the victim (default full)\n"
-        "  --maxspan N   maximum random span size (default 7)\n"
-        "  --seed N      attacker + layout seed (default 31337)\n"
-        "  --objects N   victim heap population (default 64)\n"
-        "  --crashes N   BROP respawn budget (default 4096)");
+        "  --maxspan N     maximum random span size (default 7); also "
+        "sets the fixed span\n"
+        "  --seed N        attacker + layout seed (default 31337)\n"
+        "  --objects N     victim heap population (default 64)\n"
+        "  --crashes N     BROP respawn budget (default 4096)\n"
+        "%s\n"
+        "(the victim policy defaults to 'full' here, not the registry "
+        "default)\n",
+        config::cliUsage().c_str());
 }
 
 /** The victim: a session record whose token buffer sits next to the
@@ -57,12 +63,13 @@ struct AttackSetup
     std::uint64_t seed = 31337;
     std::size_t objects = 64;
     std::size_t crashes = 4096;
+    MachineParams machine{};
 };
 
 int
 runScan(const AttackSetup &s)
 {
-    Machine machine;
+    Machine machine(s.machine);
     HeapAllocator heap(machine);
     LayoutTransformer t(s.policy, s.params, s.seed);
     auto layout =
@@ -84,7 +91,7 @@ runScan(const AttackSetup &s)
 int
 runProbe(const AttackSetup &s)
 {
-    Machine machine;
+    Machine machine(s.machine);
     HeapAllocator heap(machine);
     LayoutTransformer t(s.policy, s.params, s.seed);
     auto layout =
@@ -108,7 +115,7 @@ runBrop(const AttackSetup &s)
     const std::size_t target = def->fields().size() - 1; // privileged
 
     for (const bool rerandomize : {false, true}) {
-        Machine machine;
+        Machine machine(s.machine);
         AttackSimulator attacker(machine, s.seed);
         const auto r =
             attacker.bropAttack(*def, s.policy, s.params, target,
@@ -130,26 +137,27 @@ cmdAttack(int argc, char **argv)
 {
     std::string scenario;
     AttackSetup s;
+    config::Config cfg;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--policy") {
-            const std::string name = flagValue(argc, argv, i);
-            const auto p = parsePolicy(name);
-            if (!p) {
-                std::fprintf(stderr, "califorms attack: unknown policy "
-                                     "'%s'\n",
-                             name.c_str());
+        switch (config::parseCliArg(cfg, arg, argc, argv, i, prog)) {
+        case config::CliArg::Consumed:
+            continue;
+        case config::CliArg::Error:
+            return 2;
+        case config::CliArg::NotMine:
+            break;
+        }
+        if (arg == "--maxspan") {
+            const std::string text = flagValue(argc, argv, i);
+            if (!setOrReport(cfg, prog, arg, "layout.max_span", text) ||
+                !setOrReport(cfg, prog, arg, "layout.fixed_span", text))
                 return 2;
-            }
-            s.policy = *p;
-        } else if (arg == "--maxspan") {
-            s.params.maxSpan = static_cast<std::size_t>(
-                std::atoi(flagValue(argc, argv, i)));
-            s.params.fixedSpan = s.params.maxSpan;
         } else if (arg == "--seed") {
-            s.seed = static_cast<std::uint64_t>(
-                std::atoll(flagValue(argc, argv, i)));
+            if (!setOrReport(cfg, prog, arg, "layout.seed",
+                             flagValue(argc, argv, i)))
+                return 2;
         } else if (arg == "--objects") {
             s.objects = static_cast<std::size_t>(
                 std::atoi(flagValue(argc, argv, i)));
@@ -168,6 +176,35 @@ cmdAttack(int argc, char **argv)
             return 2;
         }
     }
+
+    // The scenarios consume the machine model and the victim layout;
+    // heap.*, stack.*, and run.* knobs have no effect on an attack
+    // replay, so reject them rather than silently ignoring them.
+    for (const auto &[key, value] : cfg.entries()) {
+        if (key.rfind("mem.", 0) != 0 && key.rfind("core.", 0) != 0 &&
+            key.rfind("layout.", 0) != 0) {
+            std::fprintf(stderr,
+                         "%s: %s has no effect on the attack "
+                         "scenarios (only mem.*, core.*, and layout.* "
+                         "knobs apply)\n",
+                         prog, key.c_str());
+            return 2;
+        }
+    }
+
+    // The attack scenarios deviate from the registry defaults: the
+    // victim is califormed (policy full, spans 1..7) and the shared
+    // attacker/layout seed is 31337. Seed those into a RunConfig and
+    // let the explicit config sets override them.
+    RunConfig rc;
+    rc.policy = s.policy;
+    rc.policyParams = s.params;
+    rc.layoutSeed = s.seed;
+    cfg.applyTo(rc);
+    s.policy = rc.policy;
+    s.params = rc.policyParams;
+    s.seed = rc.layoutSeed;
+    s.machine = rc.machine;
 
     if (scenario == "scan")
         return runScan(s);

@@ -1,0 +1,118 @@
+/**
+ * @file cmd_config.cc
+ * `califorms config`: inspect the typed parameter registry. Three
+ * views over the same table every other subcommand consumes:
+ *
+ *   (default)   the resolved configuration as a reloadable
+ *               `key = value` config file (explicit sets from --set /
+ *               --config / alias flags are marked "# set")
+ *   --schema    the machine-readable registry schema (JSON; pinned by
+ *               tests/golden/config_schema.json, so adding a knob
+ *               without docs/bounds fails the build)
+ *   --describe  the Table 3 style machine listing (describeParams) of
+ *               the resolved configuration
+ *
+ * Because the dump is reloadable, `califorms config > machine.conf`
+ * followed by `califorms run mcf --config machine.conf` reproduces the
+ * exact configuration, closing the loop between reports and reruns.
+ */
+
+#include "cli.hh"
+
+#include <cstdio>
+
+#include "sim/machine.hh"
+#include "workload/runner.hh"
+
+namespace califorms::cli
+{
+namespace
+{
+
+constexpr const char *prog = "califorms config";
+
+void
+usage()
+{
+    std::printf(
+        "usage: califorms config [--schema | --describe | "
+        "--non-default] [options]\n"
+        "\n"
+        "modes:\n"
+        "  (default)       dump the resolved config as a reloadable "
+        "'key = value' file\n"
+        "  --non-default   dump only the explicitly set keys\n"
+        "  --schema        dump the registry schema as JSON (key, "
+        "type, default,\n"
+        "                  bounds, choices, legacy flag, doc)\n"
+        "  --describe      render the resolved machine as the Table 3 "
+        "listing\n"
+        "\n"
+        "options:\n%s\n",
+        config::cliUsage().c_str());
+}
+
+} // namespace
+
+int
+cmdConfig(int argc, char **argv)
+{
+    enum class Mode
+    {
+        Resolved,
+        NonDefault,
+        Schema,
+        Describe,
+    };
+    Mode mode = Mode::Resolved;
+    config::Config cfg;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        switch (config::parseCliArg(cfg, arg, argc, argv, i, prog)) {
+        case config::CliArg::Consumed:
+            continue;
+        case config::CliArg::Error:
+            return 2;
+        case config::CliArg::NotMine:
+            break;
+        }
+        if (arg == "--schema") {
+            mode = Mode::Schema;
+        } else if (arg == "--describe") {
+            mode = Mode::Describe;
+        } else if (arg == "--non-default") {
+            mode = Mode::NonDefault;
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "califorms config: unknown argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    switch (mode) {
+    case Mode::Schema:
+        std::fputs(
+            config::ParamRegistry::instance().schemaJson().c_str(),
+            stdout);
+        break;
+    case Mode::Describe:
+        std::fputs(
+            describeParams(cfg.makeRunConfig().machine).c_str(),
+            stdout);
+        break;
+    case Mode::Resolved:
+        std::fputs(cfg.serialize(false).c_str(), stdout);
+        break;
+    case Mode::NonDefault:
+        std::fputs(cfg.serialize(true).c_str(), stdout);
+        break;
+    }
+    return 0;
+}
+
+} // namespace califorms::cli

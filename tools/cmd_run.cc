@@ -3,7 +3,9 @@
  * `califorms run`: execute one benchmark (or the whole SPEC-like suite)
  * through the full machine model and report the counters every figure
  * is built from. Unlike the fixed per-figure benches this composes any
- * (benchmark, policy, span, latency, L1 format) combination.
+ * (benchmark, policy, span, latency, L1 format) combination; every
+ * machine knob is reachable through --set key=value / --config FILE,
+ * with the historical flags kept as registry aliases.
  */
 
 #include "cli.hh"
@@ -19,6 +21,8 @@ namespace califorms::cli
 namespace
 {
 
+constexpr const char *prog = "califorms run";
+
 void
 usage()
 {
@@ -26,16 +30,14 @@ usage()
         "usage: califorms run <benchmark|all> [options]\n"
         "\n"
         "options:\n"
-        "  --policy P      none|opportunistic|full|intelligent|fixed "
-        "(default none)\n"
-        "  --maxspan N     maximum random span size (default 7)\n"
+        "  --maxspan N     maximum random span size; also sets the "
+        "fixed span\n"
         "  --scale S       workload iteration multiplier (default 0.5)\n"
         "  --seed N        layout randomization seed (default 7)\n"
         "  --no-cform      allocate layouts but never issue CFORMs\n"
         "  --extra-latency add one cycle to L2 and L3 (Figure 10)\n"
-        "  --l1 F          bitvector|cal4b|cal1b metadata format "
-        "(Table 7)\n%s\n",
-        hierarchyUsage());
+        "%s\n",
+        config::cliUsage().c_str());
 }
 
 void
@@ -70,57 +72,36 @@ int
 cmdRun(int argc, char **argv)
 {
     std::string bench_name;
-    RunConfig config;
-    config.scale = 0.5;
+    config::Config cfg;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
-        switch (parseHierarchyFlag(config.machine.mem, arg, argc, argv,
-                                   i)) {
-        case HierFlag::Consumed:
+        switch (config::parseCliArg(cfg, arg, argc, argv, i, prog)) {
+        case config::CliArg::Consumed:
             continue;
-        case HierFlag::Error:
+        case config::CliArg::Error:
             return 2;
-        case HierFlag::NotMine:
+        case config::CliArg::NotMine:
             break;
         }
-        if (arg == "--policy") {
-            const std::string name = flagValue(argc, argv, i);
-            const auto p = parsePolicy(name);
-            if (!p) {
-                std::fprintf(stderr, "califorms run: unknown policy "
-                                     "'%s'\n",
-                             name.c_str());
+        if (arg == "--maxspan") {
+            const std::string text = flagValue(argc, argv, i);
+            if (!setOrReport(cfg, prog, arg, "layout.max_span", text) ||
+                !setOrReport(cfg, prog, arg, "layout.fixed_span", text))
                 return 2;
-            }
-            config.policy = *p;
-        } else if (arg == "--maxspan") {
-            config.policyParams.maxSpan = static_cast<std::size_t>(
-                std::atoi(flagValue(argc, argv, i)));
-            config.policyParams.fixedSpan = config.policyParams.maxSpan;
         } else if (arg == "--scale") {
-            config.scale = std::atof(flagValue(argc, argv, i));
-        } else if (arg == "--seed") {
-            config.layoutSeed = static_cast<std::uint64_t>(
-                std::atoll(flagValue(argc, argv, i)));
-        } else if (arg == "--no-cform") {
-            config.withCform(false);
-        } else if (arg == "--extra-latency") {
-            config.machine.mem.extraL2L3Latency = 1;
-        } else if (arg == "--l1") {
-            const std::string f = flagValue(argc, argv, i);
-            if (f == "bitvector")
-                config.machine.mem.l1Format = L1Format::BitVector8B;
-            else if (f == "cal4b")
-                config.machine.mem.l1Format = L1Format::Cal4B;
-            else if (f == "cal1b")
-                config.machine.mem.l1Format = L1Format::Cal1B;
-            else {
-                std::fprintf(stderr, "califorms run: unknown L1 format "
-                                     "'%s'\n",
-                             f.c_str());
+            if (!setOrReport(cfg, prog, arg, "run.scale",
+                             flagValue(argc, argv, i)))
                 return 2;
-            }
+        } else if (arg == "--seed") {
+            if (!setOrReport(cfg, prog, arg, "layout.seed",
+                             flagValue(argc, argv, i)))
+                return 2;
+        } else if (arg == "--no-cform") {
+            cfg.set("heap.use_cform", "false");
+            cfg.set("stack.use_cform", "false");
+        } else if (arg == "--extra-latency") {
+            cfg.set("mem.extra_l2l3_latency", "1");
         } else if (arg == "--help") {
             usage();
             return 0;
@@ -137,6 +118,10 @@ cmdRun(int argc, char **argv)
         usage();
         return 2;
     }
+
+    RunConfig config;
+    config.scale = 0.5;
+    cfg.applyTo(config);
 
     if (bench_name == "all") {
         for (const auto &b : spec2006Suite())

@@ -6,12 +6,16 @@
  * cycles over layout seeds, and prints slowdown relative to the
  * uninstrumented baseline — the Figure 11/12 methodology, but
  * composable over any policy x span grid instead of fixed per-figure
- * configurations. The memory hierarchy is configurable (--levels,
- * --l2-kb, --llc-kb, latencies, conversion charges, --wb-queue); a
- * comma list for --levels turns the hierarchy depth into a third grid
- * axis, with the slowdown column computed against the uninstrumented
- * baseline of the same depth. --json/--csv record the machine-readable
- * report (schema califorms-campaign/v2).
+ * configurations. The machine is configurable through the parameter
+ * registry (--set key=value, --config FILE, and the legacy alias
+ * flags); any registered knob becomes an extra grid axis with
+ * --axis key=v1,v2,... (e.g. --axis core.mlp=4,12), and a comma list
+ * for --levels keeps its historical role as the hierarchy-depth axis.
+ * Every axis block carries its own uninstrumented baseline, so the
+ * slowdown column always compares within a machine configuration.
+ * --json/--csv record the machine-readable report (schema
+ * califorms-campaign/v2; registry-axis variants embed their resolved
+ * non-default config).
  */
 
 #include "cli.hh"
@@ -29,6 +33,8 @@ namespace califorms::cli
 {
 namespace
 {
+
+constexpr const char *prog = "califorms sweep";
 
 void
 usage()
@@ -49,9 +55,13 @@ usage()
         "  --json FILE     write the campaign report as JSON\n"
         "  --csv FILE      write one CSV row per run\n"
         "  --extra-latency add one cycle to L2 and L3\n"
+        "  --axis key=L    sweep any registered knob as a grid axis "
+        "(repeatable),\n"
+        "                  e.g. --axis core.mlp=4,12 --axis "
+        "mem.wb_queue_entries=0,8\n"
         "  --levels L      hierarchy depth 1..3, or a comma list to "
         "sweep the depth as a grid axis\n%s\n",
-        hierarchyUsage());
+        config::cliUsage().c_str());
 }
 
 } // namespace
@@ -65,8 +75,9 @@ cmdSweep(int argc, char **argv)
         InsertionPolicy::Full, InsertionPolicy::Intelligent};
     std::vector<std::size_t> maxspans = {3, 5, 7};
     std::vector<unsigned> levels_axis;
-    RunConfig base;
-    base.scale = 0.25;
+    /** --axis grid dimensions, in CLI order. */
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    config::Config cfg;
     unsigned seeds = 2;
     unsigned jobs = 1;
     std::string json_path, csv_path;
@@ -74,32 +85,94 @@ cmdSweep(int argc, char **argv)
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--levels") {
-            // Sweep-specific superset of the shared flag: accepts a
+            // Sweep-specific superset of the registry alias: accepts a
             // comma list and turns it into a grid axis.
-            levels_axis.clear();
-            for (const std::size_t v :
-                 parseSizeList(flagValue(argc, argv, i))) {
-                if (v < 1 || v > 3) {
-                    std::fprintf(stderr, "califorms sweep: --levels "
-                                         "entries must be 1..3\n");
-                    return 2;
-                }
-                levels_axis.push_back(static_cast<unsigned>(v));
-            }
-            if (levels_axis.empty()) {
+            const std::string text = flagValue(argc, argv, i);
+            const auto list = parseSizeList(text);
+            if (!list || list->empty()) {
                 std::fprintf(stderr,
-                             "califorms sweep: bad --levels list\n");
+                             "%s: --levels expects a comma list of "
+                             "integers (e.g. 1,2,3), got '%s'\n",
+                             prog, text.c_str());
                 return 2;
             }
+            for (const std::size_t v : *list) {
+                if (v < 1 || v > 3) {
+                    std::fprintf(stderr,
+                                 "%s: --levels entries must be 1..3, "
+                                 "got %zu\n",
+                                 prog, v);
+                    return 2;
+                }
+            }
+            if (list->size() == 1) {
+                // A single depth is just the registry alias, recorded
+                // positionally so a later --set mem.levels still wins.
+                levels_axis.clear();
+                if (!setOrReport(cfg, prog, arg, "mem.levels", text))
+                    return 2;
+                continue;
+            }
+            levels_axis.clear();
+            for (const std::size_t v : *list)
+                levels_axis.push_back(static_cast<unsigned>(v));
             continue;
         }
-        switch (parseHierarchyFlag(base.machine.mem, arg, argc, argv,
-                                   i)) {
-        case HierFlag::Consumed:
+        if (arg == "--axis") {
+            const std::string text = flagValue(argc, argv, i);
+            const std::size_t eq = text.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 == text.size()) {
+                std::fprintf(stderr,
+                             "%s: --axis expects key=v1,v2,..., got "
+                             "'%s'\n",
+                             prog, text.c_str());
+                return 2;
+            }
+            const std::string key = text.substr(0, eq);
+            if (key == "mem.levels") {
+                // The depth axis has a dedicated flag; accepting it
+                // here too would let the two axes silently override
+                // each other while both print their own columns.
+                std::fprintf(stderr,
+                             "%s: use --levels L1,L2,... for the "
+                             "hierarchy-depth axis, not --axis "
+                             "mem.levels\n",
+                             prog);
+                return 2;
+            }
+            for (const auto &[seen, ignored] : axes) {
+                if (seen == key) {
+                    // Config map semantics would make the last value
+                    // win inside every variant while the labels still
+                    // claim the full cross product — reject instead.
+                    std::fprintf(stderr,
+                                 "%s: duplicate --axis key '%s'\n",
+                                 prog, key.c_str());
+                    return 2;
+                }
+            }
+            const std::vector<std::string> values =
+                splitCsv(text.substr(eq + 1));
+            // Validate eagerly so a typo'd key or value fails before
+            // any simulation time is spent.
+            for (const std::string &value : values) {
+                config::Config probe;
+                if (const auto error = probe.set(key, value)) {
+                    std::fprintf(stderr, "%s: --axis: %s\n", prog,
+                                 error->c_str());
+                    return 2;
+                }
+            }
+            axes.emplace_back(key, values);
             continue;
-        case HierFlag::Error:
+        }
+        switch (config::parseCliArg(cfg, arg, argc, argv, i, prog)) {
+        case config::CliArg::Consumed:
+            continue;
+        case config::CliArg::Error:
             return 2;
-        case HierFlag::NotMine:
+        case config::CliArg::NotMine:
             break;
         }
         if (arg == "--bench") {
@@ -118,14 +191,20 @@ cmdSweep(int argc, char **argv)
                 policies.push_back(*p);
             }
         } else if (arg == "--maxspans") {
-            maxspans = parseSizeList(flagValue(argc, argv, i));
-            if (maxspans.empty()) {
-                std::fprintf(stderr, "califorms sweep: bad --maxspans "
-                                     "list\n");
+            const std::string text = flagValue(argc, argv, i);
+            const auto list = parseSizeList(text);
+            if (!list || list->empty()) {
+                std::fprintf(stderr,
+                             "%s: --maxspans expects a comma list of "
+                             "integers (e.g. 3,5,7), got '%s'\n",
+                             prog, text.c_str());
                 return 2;
             }
+            maxspans = *list;
         } else if (arg == "--scale") {
-            base.scale = std::atof(flagValue(argc, argv, i));
+            if (!setOrReport(cfg, prog, arg, "run.scale",
+                             flagValue(argc, argv, i)))
+                return 2;
         } else if (arg == "--seeds") {
             seeds = static_cast<unsigned>(
                 std::atoi(flagValue(argc, argv, i)));
@@ -139,7 +218,7 @@ cmdSweep(int argc, char **argv)
         } else if (arg == "--csv") {
             csv_path = flagValue(argc, argv, i);
         } else if (arg == "--extra-latency") {
-            base.machine.mem.extraL2L3Latency = 1;
+            cfg.set("mem.extra_l2l3_latency", "1");
         } else if (arg == "--help") {
             usage();
             return 0;
@@ -151,12 +230,27 @@ cmdSweep(int argc, char **argv)
         }
     }
 
-    // A single-depth request just reconfigures the base machine; the
-    // grid (and the table shape) only grows for a real axis.
-    if (levels_axis.size() == 1) {
-        base.machine.mem.levels = levels_axis[0];
-        levels_axis.clear();
+    // The sweep grid owns the layout axis: policy comes from
+    // --policies, spans from --maxspans, seeds from --seeds, so a
+    // base-level set of those keys would be silently overwritten by
+    // the grid. Reject it rather than no-op (same contract as trace
+    // run's foreign-key guard).
+    for (const auto &[key, value] : cfg.entries()) {
+        if (exp::gridOwnedKey(key)) {
+            std::fprintf(stderr,
+                         "%s: %s is owned by the sweep grid "
+                         "(--policies / --maxspans / --seeds); a base "
+                         "config set would be silently overridden\n",
+                         prog, key.c_str());
+            return 2;
+        }
     }
+
+    // A single-depth --levels was folded into cfg during parsing; the
+    // grid (and the table shape) only grows for a real comma-list axis.
+    RunConfig base;
+    base.scale = 0.25;
+    cfg.applyTo(base);
 
     exp::CampaignSpec spec;
     spec.name = "sweep";
@@ -180,30 +274,51 @@ cmdSweep(int argc, char **argv)
         std::size_t variant;
         std::size_t span;    //!< 0 = span axis not applicable
         unsigned levels;     //!< 0 = depth axis not active
+        std::vector<std::string> axisVals; //!< one per --axis, in order
     };
     std::vector<Row> rows;
     for (const InsertionPolicy policy : policies) {
         if (policy == InsertionPolicy::None) {
-            rows.push_back({0, 0, 0});
+            rows.push_back({0, 0, 0, {}});
             continue;
         }
         const auto expanded = exp::CampaignSpec::crossPolicySpans(
             {policy}, maxspans);
         for (const exp::Variant &v : expanded) {
-            rows.push_back({spec.variants.size(), v.maxSpan, 0});
+            rows.push_back({spec.variants.size(), v.maxSpan, 0, {}});
             spec.variants.push_back(v);
         }
     }
 
-    // Cross the variant list with the hierarchy-depth axis: one block
-    // of variants per depth, each block carrying its own baseline.
+    // Cross with the registry axes (CLI order), then the hierarchy
+    // depth. Every crossing is value-major blocks of the previous
+    // variant list, so a block of per_block consecutive variants stays
+    // one machine configuration carrying its own baseline.
     const std::size_t per_block = spec.variants.size();
+    for (const auto &[key, values] : axes) {
+        const std::size_t block = spec.variants.size();
+        std::vector<Row> expanded;
+        for (std::size_t a = 0; a < values.size(); ++a)
+            for (const Row &row : rows) {
+                Row r = row;
+                r.variant += a * block;
+                r.axisVals.push_back(values[a]);
+                expanded.push_back(std::move(r));
+            }
+        spec.variants =
+            exp::CampaignSpec::crossKey(spec.variants, key, values);
+        rows = std::move(expanded);
+    }
     if (!levels_axis.empty()) {
+        const std::size_t block = spec.variants.size();
         std::vector<Row> expanded;
         for (std::size_t l = 0; l < levels_axis.size(); ++l)
-            for (const Row &row : rows)
-                expanded.push_back({l * per_block + row.variant,
-                                    row.span, levels_axis[l]});
+            for (const Row &row : rows) {
+                Row r = row;
+                r.variant += l * block;
+                r.levels = levels_axis[l];
+                expanded.push_back(std::move(r));
+            }
         spec.variants = exp::CampaignSpec::crossLevels(spec.variants,
                                                        levels_axis);
         rows = std::move(expanded);
@@ -214,6 +329,8 @@ cmdSweep(int argc, char **argv)
 
     std::vector<std::string> headers = {"benchmark", "policy",
                                         "maxspan"};
+    for (const auto &[key, values] : axes)
+        headers.push_back(key);
     if (!levels_axis.empty())
         headers.push_back("levels");
     headers.push_back("cycles");
@@ -222,7 +339,7 @@ cmdSweep(int argc, char **argv)
     for (std::size_t b = 0; b < spec.suite.size(); ++b) {
         for (const Row &row : rows) {
             // Slowdown vs the uninstrumented baseline of the same
-            // hierarchy depth (variant block).
+            // machine configuration (variant block).
             const std::size_t base_variant =
                 row.variant / per_block * per_block;
             const double baseline = result.meanCycles(b, base_variant);
@@ -231,6 +348,8 @@ cmdSweep(int argc, char **argv)
                 spec.suite[b]->name,
                 policyName(spec.variants[row.variant].policy),
                 row.span ? std::to_string(row.span) : "-"};
+            for (const std::string &value : row.axisVals)
+                cells.push_back(value);
             if (!levels_axis.empty())
                 cells.push_back(std::to_string(row.levels));
             cells.push_back(TextTable::num(cycles, 0));

@@ -31,7 +31,12 @@ usage()
 {
     std::puts(
         "usage: califorms trace gen [--ops N] [--seed N] [--out FILE]\n"
-        "       califorms trace run <FILE|-> [--stats]");
+        "       califorms trace run <FILE|-> [--stats] [--set "
+        "key=value] [--config FILE]\n"
+        "\n"
+        "trace run replays on the registry-default machine; --set and "
+        "--config\n(plus the legacy alias flags, e.g. --levels, "
+        "--l2-kb) reconfigure it.");
 }
 
 /** A synthetic mixed trace: a streaming pass, pointer-chase loads,
@@ -115,9 +120,19 @@ traceRun(int argc, char **argv)
 {
     std::string path;
     bool stats = false;
+    config::Config cfg;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
+        switch (config::parseCliArg(cfg, arg, argc, argv, i,
+                                    "califorms trace")) {
+        case config::CliArg::Consumed:
+            continue;
+        case config::CliArg::Error:
+            return 2;
+        case config::CliArg::NotMine:
+            break;
+        }
         if (arg == "--stats")
             stats = true;
         else if (path.empty())
@@ -130,6 +145,20 @@ traceRun(int argc, char **argv)
     if (path.empty()) {
         usage();
         return 2;
+    }
+
+    // A trace replay consumes only the machine model: every other
+    // domain (run.*, layout.*, heap.*, stack.*) is decided by the
+    // trace itself, so accepting such a key would be a silent no-op.
+    for (const auto &[key, value] : cfg.entries()) {
+        if (key.rfind("mem.", 0) != 0 && key.rfind("core.", 0) != 0) {
+            std::fprintf(stderr,
+                         "califorms trace: %s has no effect on a "
+                         "trace replay (only mem.* and core.* knobs "
+                         "apply)\n",
+                         key.c_str());
+            return 2;
+        }
     }
 
     Trace trace;
@@ -151,7 +180,7 @@ traceRun(int argc, char **argv)
         return 1;
     }
 
-    Machine machine;
+    Machine machine(cfg.makeRunConfig().machine);
     const std::uint64_t checksum = runTrace(machine, trace);
     std::printf("replayed %zu ops: checksum=%016llx cycles=%llu "
                 "instructions=%llu exceptions=%zu\n",

@@ -1,7 +1,7 @@
 /**
  * @file main.cc
  * Entrypoint of the unified `califorms` CLI driver. Dispatches to the
- * run / attack / sweep / trace subcommands; see cli.hh.
+ * run / attack / sweep / trace / config subcommands; see cli.hh.
  */
 
 #include "cli.hh"
@@ -23,6 +23,8 @@ usage(int rc)
         "  attack  replay the Section 7.3 security scenarios\n"
         "  sweep   iterate layout policies over a benchmark\n"
         "  trace   generate and replay plain-text sim traces\n"
+        "  config  inspect the parameter registry and resolved "
+        "configs\n"
         "  help    show this message\n"
         "\n"
         "run 'califorms <subcommand> --help' for per-command options");
@@ -49,6 +51,8 @@ main(int argc, char **argv)
             return cmdSweep(argc - 2, argv + 2);
         if (cmd == "trace")
             return cmdTrace(argc - 2, argv + 2);
+        if (cmd == "config")
+            return cmdConfig(argc - 2, argv + 2);
         if (cmd == "help" || cmd == "--help")
             return usage(0);
     } catch (const std::exception &e) {

@@ -30,6 +30,7 @@
 #include "sim/params.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
+#include "workload/synth.hh"
 
 namespace califorms::bench
 {
@@ -164,7 +165,20 @@ runCampaign(const Options &opt, exp::CampaignSpec spec)
     // The harness grid owns the layout axis (policy/span variants,
     // the --seeds list): a base-level set of those keys would be
     // silently overwritten during expand(), so reject it loudly.
+    // Likewise workload.* keys when no synthetic workload is in the
+    // suite to consume them.
+    bool any_synth = false;
+    for (const SpecBenchmark *b : spec.suite)
+        any_synth = any_synth || isSynthWorkload(b->name);
     for (const auto &[key, value] : opt.cfg.entries()) {
+        if (!any_synth && key.rfind("workload.", 0) == 0) {
+            std::fprintf(stderr,
+                         "%s has no effect here (no synthetic "
+                         "workload in this harness's suite consumes "
+                         "workload.* knobs)\n",
+                         key.c_str());
+            std::exit(2);
+        }
         if (exp::gridOwnedKey(key)) {
             std::fprintf(stderr,
                          "%s is owned by this harness's grid and "

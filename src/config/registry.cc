@@ -458,6 +458,79 @@ ParamRegistry::ParamRegistry()
         [](const RunConfig &rc) { return rc.kernelSeed; },
         [](RunConfig &rc, std::uint64_t v) { rc.kernelSeed = v; }));
 
+    // ----------------------------------------------------------------
+    // workload.* — synthetic workload generators (SynthParams; only
+    // the synthSuite() benchmarks — zipf, stream, stackchurn, ring,
+    // attackmix — consume these).
+    // ----------------------------------------------------------------
+    specs_.push_back(uintKnob(
+        "workload.ops", 1, 1u << 30, "",
+        "base generator operation count (scaled by run.scale)",
+        [](const RunConfig &rc) { return rc.synth.ops; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.ops = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.footprint_kb", 4, 1u << 20, "",
+        "working set of the address-stream workloads in KB",
+        [](const RunConfig &rc) { return rc.synth.footprintKb; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.footprintKb = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(doubleKnob(
+        "workload.zipf_alpha", 0.0, 4.0,
+        "zipfian skew: 0 = uniform, 1 = classic zipf, larger = hotter",
+        [](const RunConfig &rc) { return rc.synth.zipfAlpha; },
+        [](RunConfig &rc, double v) { rc.synth.zipfAlpha = v; }));
+    specs_.push_back(uintKnob(
+        "workload.stride_bytes", 8, 4096, "",
+        "element stride in bytes (rounded up to a multiple of 8)",
+        [](const RunConfig &rc) { return rc.synth.strideBytes; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.strideBytes = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.ring_slots", 2, 1u << 20, "",
+        "producer-consumer ring: number of slots",
+        [](const RunConfig &rc) { return rc.synth.ringSlots; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.ringSlots = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.ring_burst", 1, 256, "",
+        "producer-consumer ring: slots written/read per burst",
+        [](const RunConfig &rc) { return rc.synth.ringBurst; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.ringBurst = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.stack_depth", 1, 256, "",
+        "stack-churn call tree: maximum frame depth",
+        [](const RunConfig &rc) { return rc.synth.stackDepth; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.stackDepth = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.stack_fanout", 1, 64, "",
+        "stack-churn call tree: branching factor (pop depth spread)",
+        [](const RunConfig &rc) { return rc.synth.stackFanout; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.stackFanout = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.attack_period", 8, 1u << 20, "",
+        "attack-mix: benign ops between attack probes",
+        [](const RunConfig &rc) { return rc.synth.attackPeriod; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.attackPeriod = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.seed", 0,
+        std::numeric_limits<std::uint64_t>::max(), "",
+        "generator stream seed (independent of the layout seed)",
+        [](const RunConfig &rc) { return rc.synth.seed; },
+        [](RunConfig &rc, std::uint64_t v) { rc.synth.seed = v; }));
+
     // Defaults are captured from a default RunConfig through each
     // spec's own accessor: the registry cannot disagree with the
     // params structs about what the Table 3 machine is.

@@ -72,66 +72,153 @@ runTrace(Machine &machine, const Trace &trace)
     return checksum;
 }
 
-void
-writeTrace(std::ostream &os, const Trace &trace)
+std::uint64_t
+runTrace(Machine &machine, TraceReader &reader,
+         std::uint64_t *ops_replayed)
 {
-    os << std::hex;
-    for (const TraceOp &op : trace) {
+    std::uint64_t checksum = 0;
+    std::uint64_t count = 0;
+    TraceOp op;
+    while (reader.next(op)) {
+        ++count;
         switch (op.kind) {
         case TraceOp::Kind::Load:
-            os << "L " << op.addr << " " << std::dec
-               << unsigned(op.size) << std::hex;
-            if (op.dependsOnPrev)
-                os << " dep";
-            os << "\n";
+            checksum ^= machine.load(op.addr, op.size, op.dependsOnPrev);
             break;
         case TraceOp::Kind::Store:
-            os << "S " << op.addr << " " << std::dec
-               << unsigned(op.size) << std::hex << " " << op.value
-               << "\n";
+            machine.store(op.addr, op.size, op.value);
             break;
         case TraceOp::Kind::Cform:
-            os << "C " << op.cform.lineAddr << " " << op.cform.setBits
-               << " " << op.cform.mask;
-            if (op.cform.nonTemporal)
-                os << " nt";
-            os << "\n";
+            machine.cform(op.cform);
             break;
         case TraceOp::Kind::Compute:
-            os << "X " << std::dec << op.computeOps << std::hex << "\n";
+            machine.compute(op.computeOps);
             break;
         }
     }
+    if (ops_replayed)
+        *ops_replayed = count;
+    return checksum;
 }
 
-Trace
-readTrace(std::istream &is)
+namespace detail
 {
-    Trace trace;
-    std::string line;
-    std::size_t lineno = 0;
-    auto fail = [&](const std::string &why) {
-        throw std::runtime_error("trace line " + std::to_string(lineno) +
-                                 ": " + why);
-    };
-    auto checkSize = [&](unsigned size) {
-        if (size == 0 || size > 8)
-            fail("bad access size " + std::to_string(size));
-    };
-    // Anything after a well-formed op must be the op's own optional
-    // flag; unknown trailing tokens are rejected rather than silently
-    // dropped so a corrupted trace cannot quietly replay differently.
-    auto expectEnd = [&](std::istringstream &ss) {
-        std::string extra;
-        if (ss >> extra)
-            fail("trailing junk '" + extra + "'");
-    };
-    while (std::getline(is, line)) {
-        ++lineno;
+
+void
+writeTraceOpText(std::ostream &os, const TraceOp &op)
+{
+    os << std::hex;
+    switch (op.kind) {
+    case TraceOp::Kind::Load:
+        os << "L " << op.addr << " " << std::dec << unsigned(op.size)
+           << std::hex;
+        if (op.dependsOnPrev)
+            os << " dep";
+        os << "\n";
+        break;
+    case TraceOp::Kind::Store:
+        os << "S " << op.addr << " " << std::dec << unsigned(op.size)
+           << std::hex << " " << op.value << "\n";
+        break;
+    case TraceOp::Kind::Cform:
+        os << "C " << op.cform.lineAddr << " " << op.cform.setBits
+           << " " << op.cform.mask;
+        if (op.cform.nonTemporal)
+            os << " nt";
+        os << "\n";
+        break;
+    case TraceOp::Kind::Compute:
+        os << "X " << std::dec << op.computeOps << std::hex << "\n";
+        break;
+    }
+}
+
+} // namespace detail
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    for (const TraceOp &op : trace)
+        detail::writeTraceOpText(os, op);
+}
+
+namespace
+{
+
+/**
+ * Streaming text parser. The optional @p carry string holds bytes the
+ * format auto-detection already consumed from the stream; they are
+ * logically prepended (they belong to the first line or two).
+ */
+class TextTraceReader final : public TraceReader
+{
+  public:
+    TextTraceReader(std::istream &is, std::string carry)
+        : is_(is), carry_(std::move(carry))
+    {}
+
+    bool
+    next(TraceOp &op) override
+    {
+        std::string line;
+        while (nextLine(line)) {
+            ++lineno_;
+            if (parseLine(line, op))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    /** getline over carry-then-stream; false at end of input. */
+    bool
+    nextLine(std::string &line)
+    {
+        line.clear();
+        bool carried = false;
+        while (carryPos_ < carry_.size()) {
+            carried = true;
+            const char c = carry_[carryPos_++];
+            if (c == '\n')
+                return true;
+            line += c;
+        }
+        std::string rest;
+        if (std::getline(is_, rest)) {
+            line += rest;
+            return true;
+        }
+        return carried; // a final unterminated carried line
+    }
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("trace line " +
+                                 std::to_string(lineno_) + ": " + why);
+    }
+
+    /** Parse one line into @p op; false for comments and blanks. */
+    bool
+    parseLine(const std::string &line, TraceOp &op)
+    {
         std::istringstream ss(line);
         std::string tag;
         if (!(ss >> tag) || tag[0] == '#')
-            continue;
+            return false;
+        auto checkSize = [&](unsigned size) {
+            if (size == 0 || size > 8)
+                fail("bad access size " + std::to_string(size));
+        };
+        // Anything after a well-formed op must be the op's own optional
+        // flag; unknown trailing tokens are rejected rather than
+        // silently dropped so a corrupted trace cannot quietly replay
+        // differently.
+        auto expectEnd = [&](std::istringstream &rest) {
+            std::string extra;
+            if (rest >> extra)
+                fail("trailing junk '" + extra + "'");
+        };
         // Every operand in the format is unsigned; istream extraction
         // would silently wrap a negative number modulo 2^N, replaying
         // a corrupted trace differently instead of rejecting it.
@@ -148,7 +235,7 @@ readTrace(std::istream &is)
             if (is_dep && dep != "dep")
                 fail("trailing junk '" + dep + "'");
             expectEnd(ss);
-            trace.push_back(TraceOp::load(addr, size, is_dep));
+            op = TraceOp::load(addr, size, is_dep);
         } else if (tag == "S") {
             Addr addr;
             unsigned size;
@@ -158,28 +245,85 @@ readTrace(std::istream &is)
                 fail("malformed store");
             checkSize(size);
             expectEnd(ss);
-            trace.push_back(TraceOp::store(addr, size, value));
+            op = TraceOp::store(addr, size, value);
         } else if (tag == "C") {
-            CformOp op;
+            CformOp cform;
             std::string nt;
-            if (!(ss >> std::hex >> op.lineAddr >> op.setBits >> op.mask))
+            if (!(ss >> std::hex >> cform.lineAddr >> cform.setBits >>
+                  cform.mask))
                 fail("malformed cform");
-            op.nonTemporal = static_cast<bool>(ss >> nt);
-            if (op.nonTemporal && nt != "nt")
+            cform.nonTemporal = static_cast<bool>(ss >> nt);
+            if (cform.nonTemporal && nt != "nt")
                 fail("trailing junk '" + nt + "'");
             expectEnd(ss);
-            trace.push_back(TraceOp::cformOp(op));
+            op = TraceOp::cformOp(cform);
         } else if (tag == "X") {
             std::uint32_t ops;
             if (!(ss >> std::dec >> ops))
                 fail("malformed compute");
             expectEnd(ss);
-            trace.push_back(TraceOp::compute(ops));
+            op = TraceOp::compute(ops);
         } else {
             fail("unknown op '" + tag + "'");
         }
+        return true;
     }
+
+    std::istream &is_;
+    std::string carry_;
+    std::size_t carryPos_ = 0;
+    std::size_t lineno_ = 0;
+};
+
+class TextTraceWriter final : public TraceWriter
+{
+  public:
+    explicit TextTraceWriter(std::ostream &os) : os_(os) {}
+
+    void
+    put(const TraceOp &op) override
+    {
+        detail::writeTraceOpText(os_, op);
+    }
+
+    void
+    finish() override
+    {
+        os_.flush();
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace
+
+Trace
+readTrace(std::istream &is)
+{
+    TextTraceReader reader(is, {});
+    Trace trace;
+    TraceOp op;
+    while (reader.next(op))
+        trace.push_back(op);
     return trace;
 }
+
+namespace detail
+{
+
+std::unique_ptr<TraceReader>
+makeTextReader(std::istream &is, std::string carry)
+{
+    return std::make_unique<TextTraceReader>(is, std::move(carry));
+}
+
+std::unique_ptr<TraceWriter>
+makeTextWriter(std::ostream &os)
+{
+    return std::make_unique<TextTraceWriter>(os);
+}
+
+} // namespace detail
 
 } // namespace califorms

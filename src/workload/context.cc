@@ -8,10 +8,11 @@ namespace califorms
 KernelContext::KernelContext(Machine &machine, HeapAllocator &heap,
                              StackAllocator &stack,
                              LayoutTransformer transformer,
-                             std::uint64_t kernel_seed, double scale)
+                             std::uint64_t kernel_seed, double scale,
+                             SynthParams synth)
     : machine_(machine), heap_(heap), stack_(stack),
       transformer_(std::move(transformer)), rng_(kernel_seed),
-      scale_(scale)
+      scale_(scale), synth_(synth)
 {
 }
 

@@ -23,6 +23,7 @@
 #include "layout/policy.hh"
 #include "sim/machine.hh"
 #include "util/rng.hh"
+#include "workload/synth_params.hh"
 
 namespace califorms
 {
@@ -32,13 +33,18 @@ class KernelContext
   public:
     KernelContext(Machine &machine, HeapAllocator &heap,
                   StackAllocator &stack, LayoutTransformer transformer,
-                  std::uint64_t kernel_seed, double scale);
+                  std::uint64_t kernel_seed, double scale,
+                  SynthParams synth = {});
 
     Machine &machine() { return machine_; }
     HeapAllocator &heap() { return heap_; }
     StackAllocator &stack() { return stack_; }
     Rng &rng() { return rng_; }
     double scale() const { return scale_; }
+
+    /** Knobs of the synthetic workload generators (workload.* keys);
+     *  the SPEC-like kernels ignore them. */
+    const SynthParams &synth() const { return synth_; }
 
     /** Scale an iteration count by the context's work multiplier. */
     std::size_t
@@ -69,6 +75,7 @@ class KernelContext
     LayoutTransformer transformer_;
     Rng rng_;
     double scale_;
+    SynthParams synth_;
     std::unordered_map<const StructDef *,
                        std::shared_ptr<const SecureLayout>>
         layoutCache_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "workload/primitives.hh"
+#include "workload/synth.hh"
 
 namespace califorms
 {
@@ -535,6 +536,11 @@ const SpecBenchmark &
 findBenchmark(const std::string &name)
 {
     for (const auto &b : spec2006Suite())
+        if (b.name == name)
+            return b;
+    // The synthetic workload generators are benchmarks too (zipf,
+    // stream, stackchurn, ring, attackmix; see workload/synth.hh).
+    for (const auto &b : synthSuite())
         if (b.name == name)
             return b;
     throw std::invalid_argument("unknown benchmark: " + name);

@@ -20,7 +20,7 @@ runBenchmark(const SpecBenchmark &bench, const RunConfig &config)
     LayoutTransformer transformer(config.policy, config.policyParams,
                                   config.layoutSeed);
     KernelContext ctx(machine, heap, stack, std::move(transformer),
-                      config.kernelSeed, config.scale);
+                      config.kernelSeed, config.scale, config.synth);
 
     bench.run(ctx);
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "workload/kernels.hh"
+#include "workload/synth_params.hh"
 
 namespace califorms
 {
@@ -26,6 +27,9 @@ struct RunConfig
     StackParams stack{};
     InsertionPolicy policy = InsertionPolicy::None;
     PolicyParams policyParams{};
+    /** Synthetic workload generator knobs (workload.* registry keys);
+     *  only the synthSuite() benchmarks consume them. */
+    SynthParams synth{};
     /** Layout randomization seed — the paper builds three binaries per
      *  configuration; vary this to model that. */
     std::uint64_t layoutSeed = 7;

@@ -1,0 +1,68 @@
+/**
+ * @file synth.hh
+ * Deterministic synthetic workload generators.
+ *
+ * Where the SPEC-like kernels (kernels.hh) model specific published
+ * benchmarks, these generators span the access-pattern space itself:
+ *
+ *   zipf        zipfian pointer-chase over a configurable footprint —
+ *               a hot set served by the upper hierarchy with a cold
+ *               tail reaching DRAM (key/value store flavour)
+ *   stream      sequential streaming scan with periodic stores —
+ *               bandwidth-bound, prefetch-friendly
+ *   stackchurn  call-tree push/pop churn with per-frame CFORM set and
+ *               unset traffic — the stack protection hot path
+ *   ring        producer-consumer ring buffer with shared control
+ *               words — slot reuse at a fixed lag
+ *   attackmix   benign traffic interleaved with the Section 7.3
+ *               linear-scan probe pattern against CFORM-protected
+ *               objects — the only workload that (intentionally)
+ *               trips security bytes
+ *
+ * Every generator is a TraceReader: the same op stream can be replayed
+ * directly into a Machine (runTrace), serialized to a text or binary
+ * trace (`califorms trace gen --workload`), or run as a campaign
+ * benchmark — each workload is registered as a SpecBenchmark
+ * (synthSuite()) visible to findBenchmark, `califorms sweep --bench`
+ * and exp::CampaignSpec. Streams depend only on SynthParams (the
+ * workload.* registry keys) and the requested op count; they use no
+ * libm transcendentals, so they are bit-identical across platforms.
+ */
+
+#ifndef CALIFORMS_WORKLOAD_SYNTH_HH
+#define CALIFORMS_WORKLOAD_SYNTH_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "workload/kernels.hh"
+#include "workload/synth_params.hh"
+
+namespace califorms
+{
+
+/** The generator names, in registration order. */
+const std::vector<std::string> &synthWorkloadNames();
+
+/** True if @p name names a synthetic workload generator. */
+bool isSynthWorkload(const std::string &name);
+
+/**
+ * Create the generator @p name, producing exactly @p ops operations
+ * (including any setup ops such as the attack-mix's CFORM
+ * establishment). Throws std::invalid_argument on an unknown name.
+ */
+std::unique_ptr<TraceReader> makeSynthGenerator(const std::string &name,
+                                                const SynthParams &params,
+                                                std::uint64_t ops);
+
+/** The synthetic workloads as campaign benchmarks. Each entry streams
+ *  its generator into the context machine with ops scaled by
+ *  run.scale; none is part of the paper's software-eval suite. */
+const std::vector<SpecBenchmark> &synthSuite();
+
+} // namespace califorms
+
+#endif // CALIFORMS_WORKLOAD_SYNTH_HH

@@ -1,0 +1,47 @@
+/**
+ * @file synth_params.hh
+ * Knobs of the synthetic workload generators (src/workload/synth.hh),
+ * exposed as the workload.* keys of the config ParamRegistry. Kept in
+ * a dependency-free header so RunConfig and KernelContext can carry
+ * the struct without pulling in the generator machinery.
+ */
+
+#ifndef CALIFORMS_WORKLOAD_SYNTH_PARAMS_HH
+#define CALIFORMS_WORKLOAD_SYNTH_PARAMS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace califorms
+{
+
+struct SynthParams
+{
+    /** Base operation count of one generator run; campaign runs scale
+     *  it by run.scale like every kernel iteration count. */
+    std::size_t ops = 200000;
+    /** Working set of the address-stream workloads (zipf, stream, and
+     *  the attack-mix's benign traffic). Default sits beyond the
+     *  Table 3 LLC so the cold tail reaches DRAM. */
+    std::size_t footprintKb = 8192;
+    /** Skew of the zipfian workload: 0 = uniform, 1 = classic zipf,
+     *  larger = hotter hot set. */
+    double zipfAlpha = 0.8;
+    /** Element stride in bytes (rounded up to a multiple of 8). */
+    std::size_t strideBytes = 64;
+    /** Producer-consumer ring: number of slots and ops per burst. */
+    std::size_t ringSlots = 1024;
+    std::size_t ringBurst = 8;
+    /** Stack-churn call tree: maximum depth and branching factor. */
+    std::size_t stackDepth = 16;
+    std::size_t stackFanout = 4;
+    /** Attack-mix: one attack probe every this many benign ops. */
+    std::size_t attackPeriod = 256;
+    /** Generator stream seed — independent of the layout and kernel
+     *  seeds, so the same stream replays on any machine variant. */
+    std::uint64_t seed = 0xacce55;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_WORKLOAD_SYNTH_PARAMS_HH

@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "workload/runner.hh"
+#include "workload/synth.hh"
 
 namespace califorms::cli
 {
@@ -117,6 +118,21 @@ cmdRun(int argc, char **argv)
     if (bench_name.empty()) {
         usage();
         return 2;
+    }
+
+    // workload.* knobs drive only the synthetic generator benchmarks;
+    // on anything else they would be a silent no-op, so reject them.
+    if (!isSynthWorkload(bench_name)) {
+        for (const auto &[key, value] : cfg.entries()) {
+            if (key.rfind("workload.", 0) == 0) {
+                std::fprintf(stderr,
+                             "califorms run: %s has no effect on "
+                             "benchmark '%s' (only the synthetic "
+                             "workloads consume workload.* knobs)\n",
+                             key.c_str(), bench_name.c_str());
+                return 2;
+            }
+        }
     }
 
     RunConfig config;

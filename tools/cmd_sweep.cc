@@ -28,6 +28,7 @@
 #include "exp/report.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
+#include "workload/synth.hh"
 
 namespace califorms::cli
 {
@@ -43,8 +44,10 @@ usage()
         "usage: califorms sweep [options]\n"
         "\n"
         "options:\n"
-        "  --bench B       benchmark name or 'all' for the software-eval "
-        "suite (default mcf)\n"
+        "  --bench B       benchmark name, 'all' for the software-eval "
+        "suite, or\n"
+        "                  'synthetic' for the workload-generator suite "
+        "(default mcf)\n"
         "  --policies L    comma list of policies (default "
         "none,opportunistic,full,intelligent)\n"
         "  --maxspans L    comma list of max span sizes (default 3,5,7)\n"
@@ -234,8 +237,19 @@ cmdSweep(int argc, char **argv)
     // --policies, spans from --maxspans, seeds from --seeds, so a
     // base-level set of those keys would be silently overwritten by
     // the grid. Reject it rather than no-op (same contract as trace
-    // run's foreign-key guard).
+    // run's foreign-key guard). Likewise workload.* keys when no
+    // synthetic benchmark is in the suite.
+    const bool any_synth =
+        bench_name == "synthetic" || isSynthWorkload(bench_name);
     for (const auto &[key, value] : cfg.entries()) {
+        if (!any_synth && key.rfind("workload.", 0) == 0) {
+            std::fprintf(stderr,
+                         "%s: %s has no effect here (no synthetic "
+                         "workload in the suite consumes workload.* "
+                         "knobs)\n",
+                         prog, key.c_str());
+            return 2;
+        }
         if (exp::gridOwnedKey(key)) {
             std::fprintf(stderr,
                          "%s: %s is owned by the sweep grid "
@@ -260,6 +274,9 @@ cmdSweep(int argc, char **argv)
         for (const auto &b : spec2006Suite())
             if (b.inSoftwareEval)
                 spec.suite.push_back(&b);
+    } else if (bench_name == "synthetic") {
+        for (const auto &b : synthSuite())
+            spec.suite.push_back(&b);
     } else {
         spec.suite.push_back(&findBenchmark(bench_name));
     }

@@ -1,0 +1,198 @@
+"""Unit tests for bench_gate.py (run as `python3 -m unittest` from
+tools/, wired into ctest as tools.bench_gate.unittest).
+
+Covers the three contract areas of the gate: exact counter comparison
+(any drift fails, grid changes fail in both directions), the relative
+wall-clock threshold (edge-exact passes, above fails, missing timing
+reports), and the usage/IO paths (missing or corrupt baseline exits 2
+via SystemExit, --update rewrites the baseline byte for byte).
+"""
+
+import contextlib
+import io
+import json
+import os
+import tempfile
+import unittest
+from unittest import mock
+
+import bench_gate
+
+
+def make_report(runs, timing_ms=None):
+    report = {"schema": "califorms-campaign/v2", "runs": runs}
+    if timing_ms is not None:
+        report["timing"] = {"jobs": 1, "elapsedMs": timing_ms}
+    return report
+
+
+def make_run(benchmark="mcf", variant="base", seed=1000, cycles=100,
+             instructions=50, mem=None):
+    return {
+        "benchmark": benchmark,
+        "variant": variant,
+        "layoutSeed": seed,
+        "cycles": cycles,
+        "instructions": instructions,
+        "mem": {"l1d.misses": 7} if mem is None else mem,
+    }
+
+
+class CompareCountersTest(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        report = make_report([make_run(), make_run(variant="full")])
+        self.assertEqual(
+            bench_gate.compare_counters(report, report), [])
+
+    def test_cycle_drift_fails(self):
+        base = make_report([make_run(cycles=100)])
+        cur = make_report([make_run(cycles=101)])
+        failures = bench_gate.compare_counters(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("cycles", failures[0])
+        self.assertIn("100", failures[0])
+        self.assertIn("101", failures[0])
+
+    def test_mem_stat_drift_fails(self):
+        base = make_report([make_run(mem={"l1d.misses": 7})])
+        cur = make_report([make_run(mem={"l1d.misses": 8})])
+        failures = bench_gate.compare_counters(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("mem.l1d.misses", failures[0])
+
+    def test_only_shared_mem_stats_compared(self):
+        # A v2 current report gates cleanly against a v1 baseline: the
+        # compared surface is the intersection of the recorded stats.
+        base = make_report([make_run(mem={"l1d.misses": 7})])
+        cur = make_report(
+            [make_run(mem={"l1d.misses": 7, "wbq.hits": 3})])
+        self.assertEqual(bench_gate.compare_counters(cur, base), [])
+
+    def test_missing_run_fails(self):
+        base = make_report([make_run(), make_run(variant="full")])
+        cur = make_report([make_run()])
+        failures = bench_gate.compare_counters(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("missing from current", failures[0])
+
+    def test_extra_run_fails(self):
+        # A grown grid is a baseline change, not a silent pass.
+        base = make_report([make_run()])
+        cur = make_report([make_run(), make_run(variant="full")])
+        failures = bench_gate.compare_counters(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("not in baseline", failures[0])
+
+
+class CompareTimeTest(unittest.TestCase):
+    def compare(self, cur_ms, base_ms, threshold):
+        with contextlib.redirect_stdout(io.StringIO()):
+            return bench_gate.compare_time(
+                make_report([], timing_ms=cur_ms),
+                make_report([], timing_ms=base_ms), threshold)
+
+    def test_faster_passes(self):
+        self.assertEqual(self.compare(90.0, 100.0, 0.15), [])
+
+    def test_exactly_at_threshold_passes(self):
+        # The contract is "may exceed by at most threshold": 1.5x at
+        # +50% is the inclusive edge (values chosen exact in binary).
+        self.assertEqual(self.compare(150.0, 100.0, 0.5), [])
+
+    def test_above_threshold_fails(self):
+        failures = self.compare(151.0, 100.0, 0.5)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("wall clock regressed", failures[0])
+
+    def test_missing_timing_reports(self):
+        failures = bench_gate.compare_time(
+            make_report([]), make_report([], timing_ms=1.0), 0.15)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("timing object missing", failures[0])
+
+    def test_zero_baseline_skipped(self):
+        self.assertEqual(self.compare(100.0, 0.0, 0.15), [])
+
+
+class MainTest(unittest.TestCase):
+    """End-to-end through main(), with real files."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, report):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(report, f)
+        return path
+
+    def run_main(self, *argv):
+        with mock.patch("sys.argv", ["bench_gate.py", *argv]), \
+             contextlib.redirect_stdout(io.StringIO()) as out:
+            code = bench_gate.main()
+        return code, out.getvalue()
+
+    def test_pass(self):
+        report = make_report([make_run()], timing_ms=10.0)
+        cur = self.write("cur.json", report)
+        base = self.write("base.json", report)
+        code, out = self.run_main(cur, base)
+        self.assertEqual(code, 0)
+        self.assertIn("PASS", out)
+
+    def test_counter_regression_exits_1(self):
+        cur = self.write(
+            "cur.json", make_report([make_run(cycles=2)]))
+        base = self.write(
+            "base.json", make_report([make_run(cycles=1)]))
+        code, out = self.run_main(cur, base, "--no-time")
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", out)
+
+    def test_time_only_skips_counters(self):
+        cur = self.write(
+            "cur.json", make_report([make_run(cycles=2)],
+                                    timing_ms=10.0))
+        base = self.write(
+            "base.json", make_report([make_run(cycles=1)],
+                                     timing_ms=10.0))
+        code, out = self.run_main(cur, base, "--time-only")
+        self.assertEqual(code, 0)
+        self.assertIn("wall clock within threshold", out)
+
+    def test_missing_baseline_exits_via_system_exit(self):
+        cur = self.write("cur.json", make_report([make_run()]))
+        missing = os.path.join(self.dir.name, "nope.json")
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(cur, missing, "--no-time")
+        self.assertIn("cannot read", str(ctx.exception))
+
+    def test_bad_schema_exits_via_system_exit(self):
+        cur = self.write("cur.json", {"schema": "other/v1", "runs": []})
+        base = self.write("base.json", make_report([]))
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(cur, base, "--no-time")
+        self.assertIn("unexpected schema", str(ctx.exception))
+
+    def test_corrupt_json_exits_via_system_exit(self):
+        path = os.path.join(self.dir.name, "corrupt.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        base = self.write("base.json", make_report([]))
+        with self.assertRaises(SystemExit):
+            self.run_main(path, base, "--no-time")
+
+    def test_update_rewrites_baseline(self):
+        report = make_report([make_run(cycles=42)])
+        cur = self.write("cur.json", report)
+        base = self.write("base.json", make_report([make_run()]))
+        code, out = self.run_main(cur, base, "--update")
+        self.assertEqual(code, 0)
+        self.assertIn("updated", out)
+        with open(cur, "rb") as f_cur, open(base, "rb") as f_base:
+            self.assertEqual(f_cur.read(), f_base.read())
+
+
+if __name__ == "__main__":
+    unittest.main()

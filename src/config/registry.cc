@@ -125,6 +125,31 @@ l1FormatFromName(const std::string &name)
                                 "'");
 }
 
+std::string
+coherenceName(CoherenceKind kind)
+{
+    switch (kind) {
+    case CoherenceKind::None:
+        return "none";
+    case CoherenceKind::Msi:
+        return "msi";
+    }
+    return "?";
+}
+
+CoherenceKind
+coherenceFromName(const std::string &name)
+{
+    if (name == "none")
+        return CoherenceKind::None;
+    if (name == "msi")
+        return CoherenceKind::Msi;
+    // Only reachable if the enumKnob choices list drifts from this
+    // table; fail loudly instead of silently running uncoherent.
+    throw std::invalid_argument("unknown coherence kind '" + name +
+                                "'");
+}
+
 } // namespace
 
 std::string
@@ -315,10 +340,29 @@ ParamRegistry::ParamRegistry()
         [](RunConfig &rc, bool v) {
             rc.machine.mem.nextLinePrefetch = v;
         }));
+    specs_.push_back(enumKnob(
+        "mem.coherence", {"none", "msi"}, "",
+        "inter-core coherence below the private L1s: none = legacy "
+        "single-requester semantics, msi = invalidation-based MSI "
+        "directory (only meaningful when core.count > 1)",
+        [](const RunConfig &rc) {
+            return coherenceName(rc.machine.mem.coherence);
+        },
+        [](RunConfig &rc, const std::string &name) {
+            rc.machine.mem.coherence = coherenceFromName(name);
+        }));
 
     // ----------------------------------------------------------------
     // core.* — out-of-order core approximation (CoreParams).
     // ----------------------------------------------------------------
+    specs_.push_back(uintKnob(
+        "core.count", 1, 32, "--cores",
+        "number of homogeneous cores; each owns a private L1 and "
+        "shares L2/LLC/DRAM (1 = the legacy single-requester machine)",
+        [](const RunConfig &rc) { return rc.machine.core.count; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.core.count = static_cast<unsigned>(v);
+        }));
     specs_.push_back(uintKnob(
         "core.issue_width", 1, 64, "", "max ops retired per cycle",
         [](const RunConfig &rc) { return rc.machine.core.issueWidth; },
@@ -530,6 +574,24 @@ ParamRegistry::ParamRegistry()
         "generator stream seed (independent of the layout seed)",
         [](const RunConfig &rc) { return rc.synth.seed; },
         [](RunConfig &rc, std::uint64_t v) { rc.synth.seed = v; }));
+    specs_.push_back(uintKnob(
+        "workload.core_seed_stride", 0,
+        std::numeric_limits<std::uint64_t>::max(), "",
+        "multi-core fan-out: core c's stream seed is workload.seed + "
+        "stride * c (0 = every core replays the identical stream)",
+        [](const RunConfig &rc) { return rc.synth.coreSeedStride; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.coreSeedStride = v;
+        }));
+    specs_.push_back(uintKnob(
+        "workload.protect_lines", 0, 4096, "",
+        "multi-core fan-out: CFORM-protect this many of the "
+        "workload's hottest shared lines before the streams start "
+        "(0 disables the preamble)",
+        [](const RunConfig &rc) { return rc.synth.protectLines; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.protectLines = static_cast<std::size_t>(v);
+        }));
 
     // Defaults are captured from a default RunConfig through each
     // spec's own accessor: the registry cannot disagree with the

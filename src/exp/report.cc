@@ -97,7 +97,35 @@ runJson(std::ostringstream &os, const RunUnit &unit,
            << jsonNumber(e.value);
         first = false;
     }
-    os << "},\n     \"heap\": {\"allocs\": " << u64(r.heap.allocs)
+    os << "}";
+    // Multi-core runs carry the shared-side coherence counters and a
+    // per-core private breakdown; r.cores is empty on single-core
+    // runs, so every historical report stays byte-identical.
+    if (schema == ReportSchema::V2 && !r.cores.empty()) {
+        os << ",\n     \"coherence\": {";
+        first = true;
+        for (const StatEntry &e : coherenceStatEntries(r.mem)) {
+            os << (first ? "" : ", ") << jsonString(e.name) << ": "
+               << jsonNumber(e.value);
+            first = false;
+        }
+        os << "},\n     \"cores\": [";
+        for (std::size_t c = 0; c < r.cores.size(); ++c) {
+            const CoreRunStats &core = r.cores[c];
+            os << (c ? ",\n               " : "") << "{\"core\": " << c
+               << ", \"cycles\": " << u64(core.cycles)
+               << ", \"instructions\": " << u64(core.instructions)
+               << ", \"l1dHits\": " << u64(core.mem.l1.hits)
+               << ", \"l1dMisses\": " << u64(core.mem.l1.misses)
+               << ", \"spills\": " << u64(core.mem.spills)
+               << ", \"fills\": " << u64(core.mem.fills)
+               << ", \"cformOps\": " << u64(core.mem.cformOps)
+               << ", \"securityFaults\": "
+               << u64(core.mem.securityFaults) << "}";
+        }
+        os << "]";
+    }
+    os << ",\n     \"heap\": {\"allocs\": " << u64(r.heap.allocs)
        << ", \"frees\": " << u64(r.heap.frees)
        << ", \"reuses\": " << u64(r.heap.reuses)
        << ", \"cformsIssued\": " << u64(r.heap.cformsIssued)

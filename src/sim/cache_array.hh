@@ -143,6 +143,24 @@ class CacheArray
             e->dirty = true;
     }
 
+    /** Clear the dirty bit of a resident line (coherence downgrade:
+     *  the owner keeps a now-clean copy after its data was recalled). */
+    void
+    markClean(Addr line_addr)
+    {
+        if (Entry *e = lookup(line_addr))
+            e->dirty = false;
+    }
+
+    /** Dirty bit of a resident line (false when absent). */
+    bool
+    dirtyAt(Addr line_addr) const
+    {
+        const Entry *e =
+            const_cast<CacheArray *>(this)->lookup(line_addr);
+        return e && e->dirty;
+    }
+
     /** Remove @p line_addr if present; returns true and fills the outs. */
     bool
     extract(Addr line_addr, LineT &line_out, bool &dirty_out)

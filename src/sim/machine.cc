@@ -2,54 +2,205 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "config/config.hh"
+#include "core/sentinel.hh"
 
 namespace califorms
 {
 
 Machine::Machine(const MachineParams &params, ExceptionUnit::Policy policy)
-    : params_(params), exceptions_(policy), mem_(params.mem, exceptions_),
-      core_(params.core, params.mem.l1Latency)
+    : params_(params), exceptions_(policy), shared_(params.mem)
 {
+    if (params.core.count < 1 || params.core.count > 32)
+        throw std::invalid_argument("Machine: core.count must be 1..32");
+    mems_.reserve(params.core.count);
+    cores_.reserve(params.core.count);
+    lsqs_.reserve(params.core.count);
+    for (unsigned c = 0; c < params.core.count; ++c) {
+        mems_.push_back(std::make_unique<MemorySystem>(
+            params.mem, exceptions_, shared_));
+        cores_.emplace_back(params.core, params.mem.l1Latency);
+        lsqs_.emplace_back();
+    }
 }
 
 std::uint64_t
-Machine::load(Addr addr, unsigned size, bool depends_on_prev)
+Machine::loadOn(unsigned core, Addr addr, unsigned size,
+                bool depends_on_prev)
 {
-    const auto res = mem_.load(addr, size);
-    core_.retireLoad(res.latency, depends_on_prev);
+    const auto res = mems_.at(core)->load(addr, size);
+    cores_[core].retireLoad(res.latency, depends_on_prev);
     return res.value;
 }
 
 void
-Machine::store(Addr addr, unsigned size, std::uint64_t value)
+Machine::storeOn(unsigned core, Addr addr, unsigned size,
+                 std::uint64_t value)
 {
-    const auto res = mem_.store(addr, size, value);
-    core_.retireStore(res.latency);
+    const auto res = mems_.at(core)->store(addr, size, value);
+    cores_[core].retireStore(res.latency);
 }
 
 void
-Machine::cform(const CformOp &op)
+Machine::cformOn(unsigned core, const CformOp &op)
 {
-    const auto res = mem_.cform(op);
-    core_.retireCform(res.latency);
+    const auto res = mems_.at(core)->cform(op);
+    cores_[core].retireCform(res.latency);
+}
+
+void
+Machine::computeOn(unsigned core, std::uint32_t ops)
+{
+    cores_.at(core).retireCompute(ops);
+}
+
+std::uint8_t
+Machine::peekByte(Addr addr) const
+{
+    if (mems_.size() == 1)
+        return mems_[0]->peekByte(addr);
+    const Addr la = lineBase(addr);
+    BitVectorLine line;
+    for (const auto &mem : mems_)
+        if (mem->peekPrivateLine(la, line))
+            return line.data[lineOffset(addr)];
+    return fillLine(shared_.functionalRead(la)).data[lineOffset(addr)];
+}
+
+void
+Machine::pokeByte(Addr addr, std::uint8_t v)
+{
+    if (mems_.size() == 1) {
+        mems_[0]->pokeByte(addr, v);
+        return;
+    }
+    // Multi-core: write through every private copy *and* the shared
+    // side, so clean copies keep matching the hierarchy below them and
+    // no replica goes stale (dirty bits are left as they are).
+    const Addr la = lineBase(addr);
+    BitVectorLine line;
+    bool held = false;
+    for (const auto &mem : mems_) {
+        if (mem->peekPrivateLine(la, line)) {
+            held = true;
+            break;
+        }
+    }
+    if (!held)
+        line = fillLine(shared_.functionalRead(la));
+    line.data[lineOffset(addr)] = v;
+    for (const auto &mem : mems_)
+        mem->pokePrivateLine(la, line);
+    shared_.functionalWrite(la, spillLine(line));
+}
+
+std::vector<std::uint8_t>
+Machine::peekBytes(Addr addr, std::size_t n) const
+{
+    if (mems_.size() == 1)
+        return mems_[0]->peekBytes(addr, n);
+    std::vector<std::uint8_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(peekByte(addr + i));
+    return out;
+}
+
+SecurityMask
+Machine::securityMask(Addr addr) const
+{
+    if (mems_.size() == 1)
+        return mems_[0]->securityMask(addr);
+    const Addr la = lineBase(addr);
+    BitVectorLine line;
+    for (const auto &mem : mems_)
+        if (mem->peekPrivateLine(la, line))
+            return line.mask;
+    return fillLine(shared_.functionalRead(la)).mask;
 }
 
 Cycles
 Machine::cycles() const
 {
+    Cycles slowest = 0;
+    for (const CoreModel &core : cores_)
+        slowest = std::max(slowest, core.cycles());
     const auto floor = static_cast<Cycles>(
-        static_cast<double>(mem_.dramLineTraffic()) *
+        static_cast<double>(shared_.dramAccesses()) *
         params_.core.dramCyclesPerLine);
-    return std::max(core_.cycles(), floor);
+    return std::max(slowest, floor);
+}
+
+Cycles
+Machine::coreCycles(unsigned core) const
+{
+    return cores_.at(core).cycles();
+}
+
+std::uint64_t
+Machine::instructions() const
+{
+    std::uint64_t total = 0;
+    for (const CoreModel &core : cores_)
+        total += core.instructions();
+    return total;
+}
+
+std::uint64_t
+Machine::coreInstructions(unsigned core) const
+{
+    return cores_.at(core).instructions();
+}
+
+MemSysStats
+Machine::memStats() const
+{
+    MemSysStats out;
+    for (const auto &mem : mems_) {
+        const MemSysStats p = mem->privateStats();
+        out.l1.hits += p.l1.hits;
+        out.l1.misses += p.l1.misses;
+        out.l1.evictions += p.l1.evictions;
+        out.l1.dirtyEvictions += p.l1.dirtyEvictions;
+        out.spills += p.spills;
+        out.fills += p.fills;
+        out.cformOps += p.cformOps;
+        out.securityFaults += p.securityFaults;
+        out.fillConvCycles += p.fillConvCycles;
+        out.spillConvCycles += p.spillConvCycles;
+        out.wbHits += p.wbHits;
+        out.wbEnqueued += p.wbEnqueued;
+        out.wbForcedDrains += p.wbForcedDrains;
+        out.wbPeakOccupancy =
+            std::max(out.wbPeakOccupancy, p.wbPeakOccupancy);
+    }
+    shared_.mergeStatsInto(out);
+    return out;
+}
+
+MemSysStats
+Machine::coreMemStats(unsigned core) const
+{
+    return mems_.at(core)->privateStats();
+}
+
+void
+Machine::flushAll()
+{
+    for (const auto &mem : mems_)
+        mem->flushPrivate();
+    shared_.flushLevels();
 }
 
 void
 Machine::clearStats()
 {
-    core_.reset();
-    mem_.clearStats();
+    for (CoreModel &core : cores_)
+        core.reset();
+    for (const auto &mem : mems_)
+        mem->clearStats();
 }
 
 std::string

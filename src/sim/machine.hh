@@ -1,21 +1,32 @@
 /**
  * @file machine.hh
- * The simulated machine façade: timing core + Califorms memory hierarchy
- * + privileged exception unit. Workload kernels, the allocator, the
- * examples, and the benchmark harnesses all talk to this class.
+ * The simulated machine façade: N timing cores, each with a private L1
+ * side, over one shared L2/LLC/DRAM hierarchy (optionally coherent),
+ * plus the privileged exception unit. Workload kernels, the allocator,
+ * the examples, and the benchmark harnesses all talk to this class.
+ *
+ * The historical single-core API (load/store/cform/compute) targets
+ * core 0 and is bit-for-bit identical to the pre-multi-core machine
+ * when core.count == 1. Per-core traffic goes through the *On(core,
+ * ...) variants; the deterministic round-robin interleaver that drives
+ * them from per-core streams lives in sim/trace.hh
+ * (runTraceInterleaved).
  */
 
 #ifndef CALIFORMS_SIM_MACHINE_HH
 #define CALIFORMS_SIM_MACHINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/cform.hh"
 #include "os/exception_unit.hh"
 #include "sim/core_model.hh"
+#include "sim/lsq.hh"
 #include "sim/memsys.hh"
 #include "sim/params.hh"
+#include "sim/shared_mem.hh"
 
 namespace califorms
 {
@@ -27,49 +38,87 @@ class Machine
                      ExceptionUnit::Policy policy =
                          ExceptionUnit::Policy::Record);
 
-    // Timed execution interface -------------------------------------
+    // Timed execution interface (core 0; the historical single-core
+    // API) ----------------------------------------------------------
     /** Load @p size bytes; returns the value (blacklisted bytes read 0).
      *  @p depends_on_prev marks pointer-chase loads. */
     std::uint64_t load(Addr addr, unsigned size,
-                       bool depends_on_prev = false);
+                       bool depends_on_prev = false)
+    {
+        return loadOn(0, addr, size, depends_on_prev);
+    }
 
     /** Store the low @p size bytes of @p value. */
-    void store(Addr addr, unsigned size, std::uint64_t value);
+    void store(Addr addr, unsigned size, std::uint64_t value)
+    {
+        storeOn(0, addr, size, value);
+    }
 
     /** Execute a CFORM instruction. */
-    void cform(const CformOp &op);
+    void cform(const CformOp &op) { cformOn(0, op); }
 
     /** Account @p ops of pure compute work. */
-    void compute(std::uint32_t ops) { core_.retireCompute(ops); }
+    void compute(std::uint32_t ops) { computeOn(0, ops); }
+
+    // Per-core timed execution interface -----------------------------
+    std::uint64_t loadOn(unsigned core, Addr addr, unsigned size,
+                         bool depends_on_prev = false);
+    void storeOn(unsigned core, Addr addr, unsigned size,
+                 std::uint64_t value);
+    void cformOn(unsigned core, const CformOp &op);
+    void computeOn(unsigned core, std::uint32_t ops);
+
+    /** Number of cores (MachineParams::core.count). */
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(mems_.size());
+    }
 
     // Functional interface (no timing, no checks) --------------------
-    std::uint8_t peekByte(Addr addr) const { return mem_.peekByte(addr); }
-    void pokeByte(Addr addr, std::uint8_t v) { mem_.pokeByte(addr, v); }
-    std::vector<std::uint8_t>
-    peekBytes(Addr addr, std::size_t n) const
-    {
-        return mem_.peekBytes(addr, n);
-    }
-    SecurityMask securityMask(Addr addr) const
-    {
-        return mem_.securityMask(addr);
-    }
+    // On a multi-core machine these present the coherent machine-level
+    // view: private copies are searched in core order, then the shared
+    // side; pokes write through every holder so no copy goes stale.
+    std::uint8_t peekByte(Addr addr) const;
+    void pokeByte(Addr addr, std::uint8_t v);
+    std::vector<std::uint8_t> peekBytes(Addr addr, std::size_t n) const;
+    SecurityMask securityMask(Addr addr) const;
 
     // Introspection ---------------------------------------------------
     /**
-     * Total machine time: the OoO core's critical path, bounded below
-     * by the DRAM bandwidth roofline (lines moved x cycles per line).
-     * Streaming workloads whose latency the window hides completely are
+     * Total machine time: the slowest core's OoO critical path, bounded
+     * below by the DRAM bandwidth roofline (lines moved x cycles per
+     * line — DRAM is shared, so all cores' traffic prices it).
+     * Streaming workloads whose latency the windows hide completely are
      * still limited by how fast lines cross the memory bus.
      */
     Cycles cycles() const;
-    std::uint64_t instructions() const { return core_.instructions(); }
-    MemSysStats memStats() const { return mem_.stats(); }
+    /** One core's OoO critical path (no roofline). */
+    Cycles coreCycles(unsigned core) const;
+    std::uint64_t instructions() const;
+    std::uint64_t coreInstructions(unsigned core) const;
+
+    /** Whole-machine counters: per-core private sides summed, shared
+     *  side added once. */
+    MemSysStats memStats() const;
+    /** One core's private-side counters (L1, conversions, write-back
+     *  queue, faults; shared slots zero). */
+    MemSysStats coreMemStats(unsigned core) const;
 
     ExceptionUnit &exceptions() { return exceptions_; }
     const ExceptionUnit &exceptions() const { return exceptions_; }
-    MemorySystem &memorySystem() { return mem_; }
+    MemorySystem &memorySystem(unsigned core = 0)
+    {
+        return *mems_.at(core);
+    }
+    SharedMemory &sharedMemory() { return shared_; }
+    const SharedMemory &sharedMemory() const { return shared_; }
+    /** Per-core load/store queue (Section 5.3 CFORM semantics model). */
+    LoadStoreQueue &lsq(unsigned core = 0) { return lsqs_.at(core); }
     const MachineParams &params() const { return params_; }
+
+    /** Write everything dirty back to DRAM and drop all cache contents
+     *  (every private side first, then the shared levels once). */
+    void flushAll();
 
     /** Reset cycle and statistics counters (state is preserved). */
     void clearStats();
@@ -77,8 +126,10 @@ class Machine
   private:
     MachineParams params_;
     ExceptionUnit exceptions_;
-    MemorySystem mem_;
-    CoreModel core_;
+    SharedMemory shared_; //!< must outlive the attached private sides
+    std::vector<std::unique_ptr<MemorySystem>> mems_;
+    std::vector<CoreModel> cores_;
+    std::vector<LoadStoreQueue> lsqs_;
 };
 
 } // namespace califorms

@@ -12,31 +12,30 @@ namespace califorms
 MemorySystem::MemorySystem(const MemSysParams &params,
                            ExceptionUnit &exceptions)
     : params_(params), exceptions_(exceptions),
-      l1_(params.l1Size, params.l1Ways)
+      l1_(params.l1Size, params.l1Ways),
+      ownedShared_(std::make_unique<SharedMemory>(params)),
+      shared_(ownedShared_.get())
 {
-    if (params.levels < 1 || params.levels > 3)
-        throw std::invalid_argument("MemorySystem: levels must be 1..3");
-    if (params.levels >= 2 && params.l2Size)
-        below_.push_back(Level{
-            CacheArray<SentinelLine>(params.l2Size, params.l2Ways),
-            params.l2Latency, 2});
-    if (params.levels >= 3 && params.l3Size)
-        below_.push_back(Level{
-            CacheArray<SentinelLine>(params.l3Size, params.l3Ways),
-            params.l3Latency, 3});
+    coreId_ = shared_->attachPeer(*this);
+}
+
+MemorySystem::MemorySystem(const MemSysParams &params,
+                           ExceptionUnit &exceptions, SharedMemory &shared)
+    : params_(params), exceptions_(exceptions),
+      l1_(params.l1Size, params.l1Ways), shared_(&shared)
+{
+    coreId_ = shared_->attachPeer(*this);
 }
 
 Cycles
 MemorySystem::l2HitLatency() const
 {
-    if (below_.empty())
-        return params_.l1Latency + params_.dramLatency;
-    return params_.l1Latency + below_.front().latency +
-           params_.extraL2L3Latency;
+    return params_.l1Latency + shared_->firstLevelLatency();
 }
 
 SentinelLine
-MemorySystem::fetchBelowL1(Addr line_addr, Cycles &latency, bool &dirty)
+MemorySystem::fetchBelowL1(Addr line_addr, Cycles &latency, bool &dirty,
+                           bool for_write)
 {
     dirty = false;
 
@@ -55,41 +54,18 @@ MemorySystem::fetchBelowL1(Addr line_addr, Cycles &latency, bool &dirty)
         }
     }
 
-    SentinelLine line;
-    std::size_t hit = below_.size();
-    for (std::size_t k = 0; k < below_.size(); ++k) {
-        latency += below_[k].latency + params_.extraL2L3Latency;
-        if (SentinelLine *p = below_[k].array.access(line_addr, false)) {
-            line = *p;
-            hit = k;
-            break;
-        }
-    }
-    if (hit == below_.size()) {
-        latency += params_.dramLatency;
-        ++stats_.dramAccesses;
-        line = memory_.readLine(line_addr);
-        // The long DRAM service is the queue's drain window: one
-        // queued write-back rides the otherwise idle bus. Short L2/LLC
-        // hits give no such slack, so eviction-heavy traffic that
-        // stays on-chip genuinely pressures the queue (forced drains).
-        drainOneWriteBack();
-    }
-    // Fill the levels above the hit on the way up, deepest first
-    // (mostly-inclusive hierarchy).
-    for (std::size_t j = hit; j-- > 0;) {
-        auto ev = below_[j].array.insert(line_addr, line, false);
-        if (ev.valid)
-            writeBackLevel(j, ev);
-    }
-    return line;
+    const auto fetched =
+        shared_->fetchLine(line_addr, latency, coreId_, for_write);
+    dirty = fetched.dirtyHandoff;
+    return fetched.line;
 }
 
 BitVectorLine &
-MemorySystem::refillL1(Addr line_addr, Cycles &latency)
+MemorySystem::refillL1(Addr line_addr, Cycles &latency, bool for_write)
 {
     bool dirty = false;
-    const SentinelLine below = fetchBelowL1(line_addr, latency, dirty);
+    const SentinelLine below =
+        fetchBelowL1(line_addr, latency, dirty, for_write);
     if (below.califormed) {
         ++stats_.fills;
         stats_.fillConvCycles += params_.fillConvLatency;
@@ -121,7 +97,7 @@ MemorySystem::refillL1(Addr line_addr, Cycles &latency)
     // still paid. Meaningless (and skipped) when the L1 talks straight
     // to DRAM, and a line waiting in the write-back queue is newer than
     // anything below, so it is never prefetched over.
-    if (params_.nextLinePrefetch && !below_.empty()) {
+    if (params_.nextLinePrefetch && shared_->levelCount()) {
         const Addr next = line_addr + lineBytes;
         bool queued = false;
         for (const WbEntry &e : wbq_) {
@@ -130,26 +106,8 @@ MemorySystem::refillL1(Addr line_addr, Cycles &latency)
                 break;
             }
         }
-        if (!queued && !l1_.peek(next) && !below_[0].array.peek(next)) {
-            SentinelLine pf;
-            std::size_t found = below_.size();
-            for (std::size_t k = 1; k < below_.size(); ++k) {
-                if (SentinelLine *p = below_[k].array.peek(next)) {
-                    pf = *p;
-                    found = k;
-                    break;
-                }
-            }
-            if (found == below_.size()) {
-                ++stats_.dramAccesses;
-                pf = memory_.readLine(next);
-            }
-            for (std::size_t j = found; j-- > 0;) {
-                auto evp = below_[j].array.insert(next, pf, false);
-                if (evp.valid)
-                    writeBackLevel(j, evp);
-            }
-        }
+        if (!queued && !l1_.peek(next))
+            shared_->prefetchInto(next);
     }
 
     BitVectorLine *resident = l1_.peek(line_addr);
@@ -162,9 +120,12 @@ MemorySystem::writeBackL1(Addr line_addr, const BitVectorLine &line,
                           bool dirty, Cycles *latency)
 {
     // A clean L1 line matches what the rest of the hierarchy already
-    // holds; dropping it is safe and models a silent eviction.
-    if (!dirty)
+    // holds; dropping it is safe and models a silent eviction (the
+    // directory is told so its sharer tracking stays exact).
+    if (!dirty) {
+        shared_->noteDropped(coreId_, line_addr);
         return;
+    }
     if (line.califormed()) {
         ++stats_.spills;
         stats_.spillConvCycles += params_.spillConvLatency;
@@ -181,31 +142,8 @@ MemorySystem::writeBackL1(Addr line_addr, const BitVectorLine &line,
 void
 MemorySystem::spillBelowNow(Addr line_addr, const SentinelLine &line)
 {
-    if (below_.empty()) {
-        ++stats_.dramAccesses;
-        memory_.writeLine(line_addr, line);
-        return;
-    }
-    auto ev = below_[0].array.insert(line_addr, line, true);
-    if (ev.valid)
-        writeBackLevel(0, ev);
-}
-
-void
-MemorySystem::writeBackLevel(std::size_t level,
-                             const CacheArray<SentinelLine>::Evicted &ev)
-{
-    if (!ev.dirty)
-        return;
-    if (level + 1 < below_.size()) {
-        auto next =
-            below_[level + 1].array.insert(ev.lineAddr, ev.line, true);
-        if (next.valid)
-            writeBackLevel(level + 1, next);
-    } else {
-        ++stats_.dramAccesses;
-        memory_.writeLine(ev.lineAddr, ev.line);
-    }
+    shared_->writeBack(line_addr, line);
+    shared_->noteDropped(coreId_, line_addr);
 }
 
 void
@@ -240,6 +178,50 @@ MemorySystem::drainOneWriteBack()
     spillBelowNow(entry.lineAddr, entry.line);
 }
 
+CoherencePeer::Surrender
+MemorySystem::surrenderLine(Addr line_addr, bool invalidate)
+{
+    Surrender s;
+    if (BitVectorLine *line = l1_.peek(line_addr)) {
+        s.hadCopy = true;
+        if (l1_.dirtyAt(line_addr)) {
+            s.dirty = true;
+            if (line->califormed()) {
+                // A live dirty califormed line must be encoded back to
+                // the sentinel format during the coherence action
+                // (Algorithm 1, on the remote access's critical path).
+                ++stats_.spills;
+                s.converted = true;
+            }
+            s.line = spillLine(*line);
+        }
+        if (invalidate) {
+            BitVectorLine dropped;
+            bool was_dirty = false;
+            l1_.extract(line_addr, dropped, was_dirty);
+        } else {
+            // Downgrade: keep a clean copy; the recalled data is
+            // deposited into the shared side by the caller, so the
+            // retained copy matches the hierarchy below it again.
+            l1_.markClean(line_addr);
+            s.retained = true;
+        }
+        return s;
+    }
+    // Queue entries are dirty by construction and always leave the core
+    // whole; they were encoded when evicted, so no new conversion.
+    for (auto it = wbq_.begin(); it != wbq_.end(); ++it) {
+        if (it->lineAddr == line_addr) {
+            s.hadCopy = true;
+            s.dirty = true;
+            s.line = it->line;
+            wbq_.erase(it);
+            return s;
+        }
+    }
+    return s;
+}
+
 MemorySystem::AccessResult
 MemorySystem::accessSegment(Addr addr, unsigned size, bool is_store,
                             std::uint64_t value)
@@ -255,7 +237,9 @@ MemorySystem::accessSegment(Addr addr, unsigned size, bool is_store,
 
     BitVectorLine *line = l1_.access(la, false);
     if (!line)
-        line = &refillL1(la, res.latency);
+        line = &refillL1(la, res.latency, is_store);
+    else if (is_store && coherentMulti())
+        shared_->upgrade(coreId_, la, res.latency);
 
     const std::uint64_t range = bitRange(off, size);
     const std::uint64_t overlap = line->mask & range;
@@ -350,7 +334,7 @@ MemorySystem::wideLoad(Addr addr, unsigned size, SimdPolicy policy)
 
     BitVectorLine *line = l1_.access(la, false);
     if (!line)
-        line = &refillL1(la, res.latency);
+        line = &refillL1(la, res.latency, false);
 
     const std::uint64_t range = bitRange(off, size);
     const std::uint64_t overlap = line->mask & range;
@@ -407,6 +391,8 @@ MemorySystem::cform(const CformOp &op)
         // polluting the L1 (footnote 3 of Section 6.1). If the line is
         // in the L1 it is updated in place instead.
         if (BitVectorLine *line = l1_.access(op.lineAddr, false)) {
+            if (coherentMulti())
+                shared_->upgrade(coreId_, op.lineAddr, res.latency);
             if (auto fault = checkCform(*line, op)) {
                 ++stats_.securityFaults;
                 res.faulted = true;
@@ -418,8 +404,8 @@ MemorySystem::cform(const CformOp &op)
             return res;
         }
         bool dirty = false;
-        SentinelLine below = fetchBelowL1(op.lineAddr, res.latency,
-                                          dirty);
+        SentinelLine below =
+            fetchBelowL1(op.lineAddr, res.latency, dirty, true);
         BitVectorLine decoded = fillLine(below);
         if (auto fault = checkCform(decoded, op)) {
             ++stats_.securityFaults;
@@ -445,7 +431,9 @@ MemorySystem::cform(const CformOp &op)
     // Regular CFORM: store-like with write-allocate (Section 4.1).
     BitVectorLine *line = l1_.access(op.lineAddr, false);
     if (!line)
-        line = &refillL1(op.lineAddr, res.latency);
+        line = &refillL1(op.lineAddr, res.latency, true);
+    else if (coherentMulti())
+        shared_->upgrade(coreId_, op.lineAddr, res.latency);
 
     if (auto fault = checkCform(*line, op)) {
         ++stats_.securityFaults;
@@ -466,12 +454,7 @@ MemorySystem::functionalRead(Addr line_addr) const
     for (const WbEntry &e : wbq_)
         if (e.lineAddr == line_addr)
             return fillLine(e.line);
-    for (const Level &level : below_)
-        if (const SentinelLine *p = level.array.peek(line_addr))
-            return fillLine(*p);
-    // Bypass the read counter? Keep it: functional reads are rare and
-    // the counter tracks DRAM device traffic; use a direct read here.
-    return fillLine(memory_.readLine(line_addr));
+    return fillLine(shared_->functionalRead(line_addr));
 }
 
 void
@@ -489,14 +472,40 @@ MemorySystem::functionalWrite(Addr line_addr, const BitVectorLine &line)
             return;
         }
     }
-    for (Level &level : below_) {
-        if (SentinelLine *p = level.array.peek(line_addr)) {
-            *p = encoded;
-            level.array.markDirty(line_addr);
-            return;
+    shared_->functionalWrite(line_addr, encoded);
+}
+
+bool
+MemorySystem::peekPrivateLine(Addr line_addr, BitVectorLine &out) const
+{
+    if (const BitVectorLine *l1 = l1_.peek(line_addr)) {
+        out = *l1;
+        return true;
+    }
+    for (const WbEntry &e : wbq_) {
+        if (e.lineAddr == line_addr) {
+            out = fillLine(e.line);
+            return true;
         }
     }
-    memory_.writeLine(line_addr, encoded);
+    return false;
+}
+
+bool
+MemorySystem::pokePrivateLine(Addr line_addr, const BitVectorLine &line)
+{
+    if (BitVectorLine *l1 = l1_.peek(line_addr)) {
+        *l1 = line;
+        return true;
+    }
+    const SentinelLine encoded = spillLine(line);
+    for (WbEntry &e : wbq_) {
+        if (e.lineAddr == line_addr) {
+            e.line = encoded;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::uint8_t
@@ -538,7 +547,7 @@ MemorySystem::securityMask(Addr addr) const
 }
 
 void
-MemorySystem::flushAll()
+MemorySystem::flushPrivate()
 {
     // Queued write-backs are older than anything still resident; drain
     // them into the hierarchy first so the level sweep below sees them.
@@ -546,8 +555,10 @@ MemorySystem::flushAll()
         drainOneWriteBack();
 
     l1_.forEachLine([this](Addr la, BitVectorLine &line, bool dirty) {
-        if (!dirty)
+        if (!dirty) {
+            shared_->noteDropped(coreId_, la);
             return;
+        }
         // Conversion events are counted, but no conv-cycles: nothing
         // is charged latency during a flush (same convention as the
         // uncounted DRAM writes below).
@@ -556,39 +567,28 @@ MemorySystem::flushAll()
         spillBelowNow(la, spillLine(line));
     });
     l1_.reset();
+}
 
-    // Cascade each level into the next; the deepest level writes its
-    // dirty lines straight to DRAM (device traffic after the
-    // measurement window — not counted, matching writeBackLevel's
-    // callers' view of demand traffic only).
-    for (std::size_t j = 0; j + 1 < below_.size(); ++j) {
-        below_[j].array.forEachLine(
-            [this, j](Addr la, SentinelLine &line, bool dirty) {
-                if (!dirty)
-                    return;
-                auto ev = below_[j + 1].array.insert(la, line, true);
-                if (ev.valid)
-                    writeBackLevel(j + 1, ev);
-            });
-        below_[j].array.reset();
-    }
-    if (!below_.empty()) {
-        below_.back().array.forEachLine(
-            [this](Addr la, SentinelLine &line, bool dirty) {
-                if (dirty)
-                    memory_.writeLine(la, line);
-            });
-        below_.back().array.reset();
-    }
+void
+MemorySystem::flushAll()
+{
+    flushPrivate();
+    shared_->flushLevels();
+}
+
+MemSysStats
+MemorySystem::privateStats() const
+{
+    MemSysStats out = stats_;
+    out.l1 = l1_.stats();
+    return out;
 }
 
 MemSysStats
 MemorySystem::stats() const
 {
-    MemSysStats out = stats_;
-    out.l1 = l1_.stats();
-    for (const Level &level : below_)
-        (level.id == 2 ? out.l2 : out.l3) = level.array.stats();
+    MemSysStats out = privateStats();
+    shared_->mergeStatsInto(out);
     return out;
 }
 
@@ -596,9 +596,12 @@ void
 MemorySystem::clearStats()
 {
     stats_ = MemSysStats{};
+    // The queue's high-water mark restarts at its current occupancy:
+    // whatever is queued now is already "in" the new measurement
+    // window, so a window that never enqueues still reports it.
+    stats_.wbPeakOccupancy = wbq_.size();
     l1_.clearStats();
-    for (Level &level : below_)
-        level.array.clearStats();
+    shared_->clearStats();
 }
 
 } // namespace califorms

@@ -1,7 +1,11 @@
 /**
  * @file memsys.hh
- * The configurable multi-level cache hierarchy with Califorms support
- * (Sections 3, 5).
+ * The per-core private side of the configurable cache hierarchy with
+ * Califorms support (Sections 3, 5): the L1, the dirty write-back
+ * queue, and the sentinel fill/spill conversion machinery at the L1
+ * boundary. Everything below the L1 — L2/LLC, DRAM, and the coherence
+ * directory — lives in SharedMemory (shared_mem.hh), which one or more
+ * MemorySystem instances attach to as CoherencePeers.
  *
  * Layout of metadata through the hierarchy (Figure 1):
  *   L1D      — califorms-bitvector: natural data + 64-bit mask per line.
@@ -17,7 +21,9 @@
  * re-encode on eviction (Algorithm 1). Lines without security bytes
  * stay in the natural format everywhere. Conversion events are counted
  * (fills/spills) and can be charged latency (fillConvLatency /
- * spillConvLatency).
+ * spillConvLatency). Under MSI coherence a dirty califormed line can
+ * also be recalled by another core's access, forcing the encode during
+ * the coherence action (a conversion-under-invalidation event).
  *
  * Dirty write-backs optionally pass through a bounded miss-queue
  * (wbQueueEntries): evicted dirty lines wait there, drain one entry per
@@ -32,6 +38,11 @@
  * proceed: loads still see zeros, stores write data bytes but leave the
  * blacklist metadata untouched — memcpy of a struct copies its payload
  * while the security byte pattern of the destination survives.
+ *
+ * The single-argument-pair constructor keeps the historical facade: a
+ * standalone MemorySystem privately owns its SharedMemory, and the
+ * combined object behaves bit-for-bit like the pre-split monolithic
+ * hierarchy (same access ordering, same counters).
  */
 
 #ifndef CALIFORMS_SIM_MEMSYS_HH
@@ -39,6 +50,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/cform.hh"
@@ -47,6 +59,7 @@
 #include "sim/cache_array.hh"
 #include "sim/main_memory.hh"
 #include "sim/params.hh"
+#include "sim/shared_mem.hh"
 
 namespace califorms
 {
@@ -73,9 +86,16 @@ struct MemSysStats
     std::uint64_t wbEnqueued = 0;      //!< dirty evictions queued
     std::uint64_t wbForcedDrains = 0;  //!< pushes that found the queue full
     std::uint64_t wbPeakOccupancy = 0; //!< high-water mark of the queue
+
+    // Coherence traffic (MSI machines with more than one core; all
+    // zero otherwise). Shared-side counters, like dramAccesses.
+    std::uint64_t invalidationsSent = 0; //!< invalidation probes delivered
+    std::uint64_t dirtyRecalls = 0;      //!< modified lines recalled
+    std::uint64_t convUnderInval = 0;    //!< recalls that forced an encode
+    std::uint64_t coherenceConvCycles = 0; //!< latency charged for those
 };
 
-class MemorySystem
+class MemorySystem : public CoherencePeer
 {
   public:
     /** Result of one timed access. */
@@ -86,7 +106,16 @@ class MemorySystem
         std::uint64_t value = 0; //!< loaded value (low @c size bytes)
     };
 
+    /** Standalone hierarchy: owns its shared side (historical facade). */
     MemorySystem(const MemSysParams &params, ExceptionUnit &exceptions);
+
+    /** One private side of a multi-core machine, attached to @p shared
+     *  (which must outlive this object). */
+    MemorySystem(const MemSysParams &params, ExceptionUnit &exceptions,
+                 SharedMemory &shared);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
 
     /** Timed load of @p size (1..8) bytes. May cross a line boundary. */
     AccessResult load(Addr addr, unsigned size);
@@ -145,36 +174,62 @@ class MemorySystem
     /** Security mask of the line containing @p addr, wherever it lives. */
     SecurityMask securityMask(Addr addr) const;
 
-    /** Write every dirty line back to DRAM and drop all cache contents. */
+    /** Functional lookup restricted to this core's private side (L1 or
+     *  write-back queue); true and fills @p out when held. */
+    bool peekPrivateLine(Addr line_addr, BitVectorLine &out) const;
+
+    /** Functional in-place update of a privately held line (dirty bit
+     *  preserved); false when this core does not hold it. */
+    bool pokePrivateLine(Addr line_addr, const BitVectorLine &line);
+
+    /** Write every dirty line back to DRAM and drop all cache contents
+     *  (private side, then the shared levels). */
     void flushAll();
 
-    /** Counters with the per-level cache stats filled in. */
+    /** Drain this core's write-back queue and spill its dirty L1 lines
+     *  below, dropping all private contents; the shared levels are left
+     *  untouched (Machine flushes them once after all cores). */
+    void flushPrivate();
+
+    /** Private + shared counters merged (historical single-requester
+     *  view; on a multi-core machine the shared side is included
+     *  whole, so prefer Machine::memStats for aggregation). */
     MemSysStats stats() const;
+
+    /** This core's private counters only: L1, conversions, write-back
+     *  queue, faults (shared-side slots left zero). */
+    MemSysStats privateStats() const;
+
     void clearStats();
 
     /** Lines moved to or from DRAM (reads + write-backs): the quantity
      *  the bandwidth roofline in Machine::cycles() prices. */
-    std::uint64_t dramLineTraffic() const { return stats_.dramAccesses; }
+    std::uint64_t dramLineTraffic() const
+    {
+        return shared_->dramAccesses();
+    }
 
-    MainMemory &memory() { return memory_; }
+    MainMemory &memory() { return shared_->memory(); }
     const MemSysParams &params() const { return params_; }
 
+    SharedMemory &sharedMemory() { return *shared_; }
+    const SharedMemory &sharedMemory() const { return *shared_; }
+
+    /** Core id assigned by the shared side (attachment order). */
+    unsigned coreId() const { return coreId_; }
+
     /** Number of enabled cache levels below the L1 (0, 1 or 2). */
-    std::size_t levelsBelowL1() const { return below_.size(); }
+    std::size_t levelsBelowL1() const { return shared_->levelCount(); }
 
     /** Total latency of an L1 miss that hits in the first level below
      *  the L1 (DRAM when none is enabled; for reporting). */
     Cycles l2HitLatency() const;
 
-  private:
-    /** One sentinel-format cache level below the L1. */
-    struct Level
-    {
-        CacheArray<SentinelLine> array;
-        Cycles latency;
-        unsigned id; //!< 2 = L2, 3 = LLC; selects the stats slot
-    };
+    // CoherencePeer interface (called by the shared side) ------------
+    Surrender surrenderLine(Addr line_addr, bool invalidate) override;
+    void drainOneWriteBack() override;
 
+  private:
     /** A dirty line waiting in the write-back queue. */
     struct WbEntry
     {
@@ -184,13 +239,15 @@ class MemorySystem
 
     /** Fetch a line into L1 (miss path); returns latency spent below L1
      *  and a reference to the resident line. */
-    BitVectorLine &refillL1(Addr line_addr, Cycles &latency);
+    BitVectorLine &refillL1(Addr line_addr, Cycles &latency,
+                            bool for_write);
 
-    /** Look the line up in the write-back queue, the levels below the
-     *  L1 and DRAM, filling caches along the way. Sets @p dirty when
-     *  the line came out of the write-back queue (its only copy). */
+    /** Look the line up in the write-back queue and the shared side
+     *  (levels, then DRAM). Sets @p dirty when the returned line is the
+     *  only copy (write-back queue hit or coherence dirty handoff) and
+     *  must stay dirty in the L1. */
     SentinelLine fetchBelowL1(Addr line_addr, Cycles &latency,
-                              bool &dirty);
+                              bool &dirty, bool for_write);
 
     /** Evict one L1 line (spill conversion + write-back queue). The
      *  conversion penalty is charged to @p latency when given. */
@@ -200,16 +257,8 @@ class MemorySystem
     /** Push an encoded dirty line below the L1, bypassing the queue. */
     void spillBelowNow(Addr line_addr, const SentinelLine &line);
 
-    /** Handle the eviction from a sentinel level: cascade the dirty
-     *  line into the next enabled level or DRAM. */
-    void writeBackLevel(std::size_t level,
-                        const CacheArray<SentinelLine>::Evicted &ev);
-
     /** Queue a dirty encoded line (wbQueueEntries > 0 only). */
     void enqueueWriteBack(Addr line_addr, const SentinelLine &line);
-
-    /** Drain the oldest queued write-back into the hierarchy. */
-    void drainOneWriteBack();
 
     /** Common load/store path for one line-contained segment. */
     AccessResult accessSegment(Addr addr, unsigned size, bool is_store,
@@ -220,15 +269,19 @@ class MemorySystem
     /** Functional write-through of a full line to wherever it lives. */
     void functionalWrite(Addr line_addr, const BitVectorLine &line);
 
+    /** True when MSI probes must be exchanged for store hits. */
+    bool coherentMulti() const { return shared_->coherent(); }
+
     MemSysParams params_;
     ExceptionUnit &exceptions_;
     CacheArray<BitVectorLine> l1_;
-    std::vector<Level> below_; //!< enabled levels, nearest first
     /** Dirty write-back queue. Lookups are linear scans on the miss
      *  path — fine for realistic victim-buffer depths (the CLI caps
      *  the knob at 512); index it before allowing anything larger. */
     std::deque<WbEntry> wbq_;
-    MainMemory memory_;
+    std::unique_ptr<SharedMemory> ownedShared_; //!< standalone facade
+    SharedMemory *shared_;
+    unsigned coreId_ = 0;
     MemSysStats stats_;
 };
 

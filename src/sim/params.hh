@@ -51,6 +51,22 @@ l1FormatExtraLatency(L1Format format)
     return 0;
 }
 
+/**
+ * Coherence protocol of the shared hierarchy below the private L1s.
+ * None keeps the historical single-requester behaviour (private L1s
+ * are incoherent islands; fine for one core, a modeling choice for
+ * more). Msi maintains a line-granular directory over the private
+ * sides: a write invalidates every other copy, a read of a modified
+ * line recalls the dirty data and downgrades the owner to a clean
+ * sharer — so sentinel fill/spill conversions race with coherence
+ * traffic, the scenario class the paper never measured.
+ */
+enum class CoherenceKind
+{
+    None,
+    Msi,
+};
+
 /** Cache hierarchy and DRAM parameters (Table 3). */
 struct MemSysParams
 {
@@ -67,6 +83,9 @@ struct MemSysParams
     Cycles l3Latency = 27;
 
     Cycles dramLatency = 120;             //!< DDR3-1333 average load
+
+    /** Coherence protocol over the private L1s (multi-core machines). */
+    CoherenceKind coherence = CoherenceKind::None;
 
     /**
      * Hierarchy depth: 1 = L1 + DRAM, 2 = + L2, 3 = + L2 + LLC
@@ -133,6 +152,13 @@ struct MemSysParams
 /** Out-of-order core approximation parameters. */
 struct CoreParams
 {
+    /**
+     * Number of cores. Each core owns a private L1 (+ write-back queue
+     * and sentinel fill/spill machinery) and its own CoreModel/LSQ; all
+     * cores share the L2/LLC levels and DRAM. The parameters below
+     * describe every core (the machine is homogeneous).
+     */
+    unsigned count = 1;
     unsigned issueWidth = 4;      //!< max ops retired per cycle
     unsigned mlp = 12;            //!< overlap factor for independent misses
     double storeMissWeight = 0.2; //!< store misses are mostly buffered

@@ -1,0 +1,347 @@
+#include "sim/shared_mem.hh"
+
+#include <stdexcept>
+
+#include "sim/memsys.hh"
+
+namespace califorms
+{
+
+SharedMemory::SharedMemory(const MemSysParams &params) : params_(params)
+{
+    if (params.levels < 1 || params.levels > 3)
+        throw std::invalid_argument("SharedMemory: levels must be 1..3");
+    if (params.levels >= 2 && params.l2Size)
+        below_.push_back(Level{
+            CacheArray<SentinelLine>(params.l2Size, params.l2Ways),
+            params.l2Latency, 2});
+    if (params.levels >= 3 && params.l3Size)
+        below_.push_back(Level{
+            CacheArray<SentinelLine>(params.l3Size, params.l3Ways),
+            params.l3Latency, 3});
+}
+
+unsigned
+SharedMemory::attachPeer(CoherencePeer &peer)
+{
+    if (peers_.size() >= 32)
+        throw std::invalid_argument(
+            "SharedMemory: at most 32 cores (directory bitmask width)");
+    peers_.push_back(&peer);
+    return static_cast<unsigned>(peers_.size() - 1);
+}
+
+Cycles
+SharedMemory::firstLevelLatency() const
+{
+    if (below_.empty())
+        return params_.dramLatency;
+    return below_.front().latency + params_.extraL2L3Latency;
+}
+
+bool
+SharedMemory::probeHolders(Addr line_addr, unsigned core, bool for_write,
+                           Cycles &latency, SentinelLine &recalled)
+{
+    auto it = directory_.find(line_addr);
+    if (it == directory_.end())
+        return false;
+    DirEntry &d = it->second;
+    bool have = false;
+
+    auto recall = [&](const CoherencePeer::Surrender &s) {
+        ++dirtyRecalls_;
+        // The remote L1 must be probed for its data: one L1 access.
+        latency += params_.l1Latency;
+        if (s.converted) {
+            // Conversion under invalidation: the victim had to encode
+            // a live califormed line during the coherence action, and
+            // the requester waits for it.
+            ++convUnderInval_;
+            coherenceConvCycles_ += params_.spillConvLatency;
+            latency += params_.spillConvLatency;
+        }
+        recalled = s.line;
+        have = true;
+    };
+
+    if (for_write) {
+        // Invalidate every other holder, in core order (deterministic).
+        const std::uint32_t others = d.sharers & ~(1u << core);
+        for (unsigned c = 0; c < peers_.size(); ++c) {
+            if (!(others & (1u << c)))
+                continue;
+            ++invalidationsSent_;
+            const auto s = peers_[c]->surrenderLine(line_addr, true);
+            d.sharers &= ~(1u << c);
+            if (d.owner == static_cast<int>(c))
+                d.owner = -1;
+            if (s.dirty)
+                recall(s);
+        }
+    } else if (d.owner >= 0 && d.owner != static_cast<int>(core)) {
+        // Read of a modified line: downgrade only the owner; plain
+        // sharers are already compatible with another reader.
+        const unsigned c = static_cast<unsigned>(d.owner);
+        const auto s = peers_[c]->surrenderLine(line_addr, false);
+        d.owner = -1;
+        if (!s.retained)
+            d.sharers &= ~(1u << c);
+        if (s.dirty)
+            recall(s);
+    }
+
+    if (d.sharers == 0 && d.owner < 0)
+        directory_.erase(it);
+    return have;
+}
+
+SharedMemory::FetchResult
+SharedMemory::fetchLine(Addr line_addr, Cycles &latency, unsigned core,
+                        bool for_write)
+{
+    FetchResult out;
+
+    if (coherent()) {
+        SentinelLine recalled;
+        if (probeHolders(line_addr, core, for_write, latency, recalled)) {
+            if (for_write) {
+                // The recall is the only up-to-date copy; hand it
+                // straight to the requester, which must keep it dirty.
+                out.line = recalled;
+                out.dirtyHandoff = true;
+                DirEntry &d = directory_[line_addr];
+                d.sharers = 1u << core;
+                d.owner = static_cast<int>(core);
+                return out;
+            }
+            // Read recall: deposit the dirty data into the shared side
+            // so the downgraded owner and the requester can both hold
+            // clean copies that match the hierarchy below them.
+            writeBack(line_addr, recalled);
+        }
+    }
+
+    std::size_t hit = below_.size();
+    for (std::size_t k = 0; k < below_.size(); ++k) {
+        latency += below_[k].latency + params_.extraL2L3Latency;
+        if (SentinelLine *p = below_[k].array.access(line_addr, false)) {
+            out.line = *p;
+            hit = k;
+            break;
+        }
+    }
+    if (hit == below_.size()) {
+        latency += params_.dramLatency;
+        ++dramAccesses_;
+        out.line = memory_.readLine(line_addr);
+        // The long DRAM service is the requester's write-back drain
+        // window: one queued write-back rides the otherwise idle bus.
+        // Short L2/LLC hits give no such slack, so eviction-heavy
+        // traffic that stays on-chip genuinely pressures the queue.
+        peers_[core]->drainOneWriteBack();
+    }
+    // Fill the levels above the hit on the way up, deepest first
+    // (mostly-inclusive hierarchy).
+    for (std::size_t j = hit; j-- > 0;) {
+        auto ev = below_[j].array.insert(line_addr, out.line, false);
+        if (ev.valid)
+            writeBackLevel(j, ev);
+    }
+
+    if (coherent()) {
+        DirEntry &d = directory_[line_addr];
+        d.sharers |= 1u << core;
+        if (for_write) {
+            d.sharers = 1u << core;
+            d.owner = static_cast<int>(core);
+        }
+    }
+    return out;
+}
+
+void
+SharedMemory::upgrade(unsigned core, Addr line_addr, Cycles &latency)
+{
+    if (!coherent())
+        return;
+    {
+        const auto it = directory_.find(line_addr);
+        if (it != directory_.end() &&
+            it->second.owner == static_cast<int>(core))
+            return; // already the modified owner: nothing to do
+    }
+    SentinelLine recalled;
+    if (probeHolders(line_addr, core, /*for_write=*/true, latency,
+                     recalled)) {
+        // A dirty copy elsewhere should be impossible while this core
+        // holds the line; deposit it below rather than lose data. The
+        // upgrading core's own (newer) copy overwrites it on eviction.
+        writeBack(line_addr, recalled);
+    }
+    DirEntry &d = directory_[line_addr];
+    d.sharers = 1u << core;
+    d.owner = static_cast<int>(core);
+}
+
+void
+SharedMemory::writeBack(Addr line_addr, const SentinelLine &line)
+{
+    if (below_.empty()) {
+        ++dramAccesses_;
+        memory_.writeLine(line_addr, line);
+        return;
+    }
+    auto ev = below_[0].array.insert(line_addr, line, true);
+    if (ev.valid)
+        writeBackLevel(0, ev);
+}
+
+void
+SharedMemory::writeBackLevel(std::size_t level,
+                             const CacheArray<SentinelLine>::Evicted &ev)
+{
+    if (!ev.dirty)
+        return;
+    if (level + 1 < below_.size()) {
+        auto next =
+            below_[level + 1].array.insert(ev.lineAddr, ev.line, true);
+        if (next.valid)
+            writeBackLevel(level + 1, next);
+    } else {
+        ++dramAccesses_;
+        memory_.writeLine(ev.lineAddr, ev.line);
+    }
+}
+
+void
+SharedMemory::noteDropped(unsigned core, Addr line_addr)
+{
+    if (!coherent())
+        return;
+    const auto it = directory_.find(line_addr);
+    if (it == directory_.end())
+        return;
+    DirEntry &d = it->second;
+    d.sharers &= ~(1u << core);
+    if (d.owner == static_cast<int>(core))
+        d.owner = -1;
+    if (d.sharers == 0 && d.owner < 0)
+        directory_.erase(it);
+}
+
+void
+SharedMemory::prefetchInto(Addr line_addr)
+{
+    if (below_.empty())
+        return;
+    if (below_[0].array.peek(line_addr))
+        return;
+    if (coherent()) {
+        const auto it = directory_.find(line_addr);
+        if (it != directory_.end() && it->second.owner >= 0)
+            return; // a core owns it modified; never prefetch over it
+    }
+    SentinelLine pf;
+    std::size_t found = below_.size();
+    for (std::size_t k = 1; k < below_.size(); ++k) {
+        if (SentinelLine *p = below_[k].array.peek(line_addr)) {
+            pf = *p;
+            found = k;
+            break;
+        }
+    }
+    if (found == below_.size()) {
+        ++dramAccesses_;
+        pf = memory_.readLine(line_addr);
+    }
+    for (std::size_t j = found; j-- > 0;) {
+        auto ev = below_[j].array.insert(line_addr, pf, false);
+        if (ev.valid)
+            writeBackLevel(j, ev);
+    }
+}
+
+void
+SharedMemory::flushLevels()
+{
+    // Cascade each level into the next; the deepest level writes its
+    // dirty lines straight to DRAM (device traffic after the
+    // measurement window — not counted, matching writeBackLevel's
+    // callers' view of demand traffic only).
+    for (std::size_t j = 0; j + 1 < below_.size(); ++j) {
+        below_[j].array.forEachLine(
+            [this, j](Addr la, SentinelLine &line, bool dirty) {
+                if (!dirty)
+                    return;
+                auto ev = below_[j + 1].array.insert(la, line, true);
+                if (ev.valid)
+                    writeBackLevel(j + 1, ev);
+            });
+        below_[j].array.reset();
+    }
+    if (!below_.empty()) {
+        below_.back().array.forEachLine(
+            [this](Addr la, SentinelLine &line, bool dirty) {
+                if (dirty)
+                    memory_.writeLine(la, line);
+            });
+        below_.back().array.reset();
+    }
+}
+
+const SentinelLine *
+SharedMemory::peekLevels(Addr line_addr) const
+{
+    for (const Level &level : below_)
+        if (const SentinelLine *p = level.array.peek(line_addr))
+            return p;
+    return nullptr;
+}
+
+SentinelLine
+SharedMemory::functionalRead(Addr line_addr) const
+{
+    if (const SentinelLine *p = peekLevels(line_addr))
+        return *p;
+    return memory_.readLine(line_addr);
+}
+
+void
+SharedMemory::functionalWrite(Addr line_addr, const SentinelLine &line)
+{
+    for (Level &level : below_) {
+        if (SentinelLine *p = level.array.peek(line_addr)) {
+            *p = line;
+            level.array.markDirty(line_addr);
+            return;
+        }
+    }
+    memory_.writeLine(line_addr, line);
+}
+
+void
+SharedMemory::mergeStatsInto(MemSysStats &out) const
+{
+    for (const Level &level : below_)
+        (level.id == 2 ? out.l2 : out.l3) = level.array.stats();
+    out.dramAccesses += dramAccesses_;
+    out.invalidationsSent += invalidationsSent_;
+    out.dirtyRecalls += dirtyRecalls_;
+    out.convUnderInval += convUnderInval_;
+    out.coherenceConvCycles += coherenceConvCycles_;
+}
+
+void
+SharedMemory::clearStats()
+{
+    for (Level &level : below_)
+        level.array.clearStats();
+    dramAccesses_ = 0;
+    invalidationsSent_ = 0;
+    dirtyRecalls_ = 0;
+    convUnderInval_ = 0;
+    coherenceConvCycles_ = 0;
+}
+
+} // namespace califorms

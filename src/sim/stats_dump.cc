@@ -68,6 +68,25 @@ memStatEntries(const MemSysStats &mem, StatSchema schema)
     return out;
 }
 
+std::vector<StatEntry>
+coherenceStatEntries(const MemSysStats &mem)
+{
+    return {
+        {"coherence.invalidations",
+         static_cast<double>(mem.invalidationsSent),
+         "invalidation probes sent to remote L1s"},
+        {"coherence.dirtyRecalls",
+         static_cast<double>(mem.dirtyRecalls),
+         "modified lines recalled from a remote L1"},
+        {"coherence.convUnderInval",
+         static_cast<double>(mem.convUnderInval),
+         "califormed lines encoded while surrendered"},
+        {"coherence.convCycles",
+         static_cast<double>(mem.coherenceConvCycles),
+         "latency charged for conversions under coherence"},
+    };
+}
+
 namespace
 {
 
@@ -99,6 +118,13 @@ dumpStats(const Machine &machine)
     line(os, "core.ipc", ipc, "instructions per cycle");
     for (const StatEntry &e : memStatEntries(machine.memStats()))
         line(os, e.name, e.value, e.desc);
+    // coherence.* only exists on machines that can exercise it, so
+    // every historical single-core dump stays byte-identical.
+    if (machine.coreCount() > 1 ||
+        machine.params().mem.coherence != CoherenceKind::None)
+        for (const StatEntry &e :
+             coherenceStatEntries(machine.memStats()))
+            line(os, e.name, e.value, e.desc);
     line(os, "exceptions.delivered",
          static_cast<double>(machine.exceptions().deliveredCount()),
          "privileged exceptions delivered");

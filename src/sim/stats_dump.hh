@@ -45,6 +45,12 @@ enum class StatSchema
 std::vector<StatEntry> memStatEntries(const MemSysStats &mem,
                                       StatSchema schema = StatSchema::V2);
 
+/** The coherence.* counters. Kept out of memStatEntries so every
+ *  single-core emission (dump, report JSON/CSV) stays byte-identical;
+ *  emitters append these only for multi-core or coherence-enabled
+ *  machines. */
+std::vector<StatEntry> coherenceStatEntries(const MemSysStats &mem);
+
 /** Render all machine statistics in a flat, diffable format. */
 std::string dumpStats(const Machine &machine);
 

@@ -101,6 +101,51 @@ runTrace(Machine &machine, TraceReader &reader,
     return checksum;
 }
 
+std::uint64_t
+runTraceInterleaved(Machine &machine,
+                    const std::vector<TraceReader *> &streams,
+                    std::uint64_t *ops_replayed)
+{
+    if (streams.size() != machine.coreCount())
+        throw std::invalid_argument(
+            "runTraceInterleaved: need exactly one stream per core");
+    std::uint64_t checksum = 0;
+    std::uint64_t count = 0;
+    std::vector<bool> alive(streams.size(), true);
+    std::size_t live = streams.size();
+    TraceOp op;
+    while (live) {
+        for (unsigned core = 0; core < streams.size(); ++core) {
+            if (!alive[core])
+                continue;
+            if (!streams[core]->next(op)) {
+                alive[core] = false;
+                --live;
+                continue;
+            }
+            ++count;
+            switch (op.kind) {
+            case TraceOp::Kind::Load:
+                checksum ^= machine.loadOn(core, op.addr, op.size,
+                                           op.dependsOnPrev);
+                break;
+            case TraceOp::Kind::Store:
+                machine.storeOn(core, op.addr, op.size, op.value);
+                break;
+            case TraceOp::Kind::Cform:
+                machine.cformOn(core, op.cform);
+                break;
+            case TraceOp::Kind::Compute:
+                machine.computeOn(core, op.computeOps);
+                break;
+            }
+        }
+    }
+    if (ops_replayed)
+        *ops_replayed = count;
+    return checksum;
+}
+
 namespace detail
 {
 

@@ -159,6 +159,22 @@ std::unique_ptr<TraceWriter> makeTraceWriter(std::ostream &os,
 std::uint64_t runTrace(Machine &machine, TraceReader &reader,
                        std::uint64_t *ops_replayed = nullptr);
 
+/**
+ * Replay per-core streams on a multi-core machine with a deterministic
+ * round-robin interleave: one op from core 0, one from core 1, ... each
+ * round, in core order; a stream that ends drops out of the rotation
+ * while the rest continue. @p streams must contain exactly
+ * machine.coreCount() entries (throws std::invalid_argument
+ * otherwise). Returns the loads' value XOR across all cores (and the
+ * total op count via @p ops_replayed) — with one stream this is
+ * exactly runTrace. The fixed policy makes any (machine, streams) pair
+ * reproduce the same cycles, stats, and checksum on every run.
+ */
+std::uint64_t
+runTraceInterleaved(Machine &machine,
+                    const std::vector<TraceReader *> &streams,
+                    std::uint64_t *ops_replayed = nullptr);
+
 namespace detail
 {
 // Internal plumbing shared between trace.cc (text side) and

@@ -1,5 +1,9 @@
 #include "workload/runner.hh"
 
+#include <stdexcept>
+
+#include "workload/synth.hh"
+
 namespace califorms
 {
 
@@ -14,6 +18,12 @@ RunConfig::withCform(bool on)
 RunResult
 runBenchmark(const SpecBenchmark &bench, const RunConfig &config)
 {
+    if (config.machine.core.count > 1 && !isSynthWorkload(bench.name))
+        throw std::invalid_argument(
+            "benchmark '" + bench.name +
+            "' cannot honor core.count > 1 (only the synthetic "
+            "workloads fan out one stream per core)");
+
     Machine machine(config.machine, ExceptionUnit::Policy::Record);
     HeapAllocator heap(machine, config.heap);
     StackAllocator stack(machine, config.stack);
@@ -32,6 +42,16 @@ runBenchmark(const SpecBenchmark &bench, const RunConfig &config)
     result.heap = heap.stats();
     result.exceptionsDelivered = machine.exceptions().deliveredCount();
     result.exceptionsSuppressed = machine.exceptions().suppressedCount();
+    if (machine.coreCount() > 1) {
+        result.cores.reserve(machine.coreCount());
+        for (unsigned c = 0; c < machine.coreCount(); ++c) {
+            CoreRunStats core;
+            core.cycles = machine.coreCycles(c);
+            core.instructions = machine.coreInstructions(c);
+            core.mem = machine.coreMemStats(c);
+            result.cores.push_back(core);
+        }
+    }
     return result;
 }
 

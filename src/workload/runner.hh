@@ -12,6 +12,7 @@
 #define CALIFORMS_WORKLOAD_RUNNER_HH
 
 #include <string>
+#include <vector>
 
 #include "workload/kernels.hh"
 #include "workload/synth_params.hh"
@@ -42,6 +43,14 @@ struct RunConfig
     RunConfig &withCform(bool on);
 };
 
+/** One core's share of a multi-core run. */
+struct CoreRunStats
+{
+    Cycles cycles = 0;             //!< this core's OoO critical path
+    std::uint64_t instructions = 0;
+    MemSysStats mem{};             //!< private side only (shared zero)
+};
+
 /** Everything measured in one run. */
 struct RunResult
 {
@@ -52,9 +61,15 @@ struct RunResult
     HeapStats heap{};
     std::size_t exceptionsDelivered = 0;
     std::size_t exceptionsSuppressed = 0;
+    /** Per-core breakdown; filled only when core.count > 1 (empty on
+     *  single-core runs, keeping their reports byte-identical). */
+    std::vector<CoreRunStats> cores;
 };
 
-/** Run @p bench under @p config on a fresh machine. */
+/** Run @p bench under @p config on a fresh machine. Throws
+ *  std::invalid_argument when core.count > 1 and @p bench is not a
+ *  synthetic workload (only those fan out per core; silently running
+ *  a multi-core machine single-threaded would misreport scaling). */
 RunResult runBenchmark(const SpecBenchmark &bench,
                        const RunConfig &config);
 

@@ -373,11 +373,112 @@ synthBench(const char *name)
     const std::string bench = name;
     return {bench, false, [bench](KernelContext &ctx) {
                 const SynthParams &p = ctx.synth();
-                const auto gen =
-                    makeSynthGenerator(bench, p, ctx.n(p.ops));
-                runTrace(ctx.machine(), *gen);
+                const unsigned cores = ctx.machine().coreCount();
+                if (cores == 1) {
+                    // Historical single-core path, kept verbatim so
+                    // core.count=1 runs stay bit-identical to the
+                    // committed baselines.
+                    const auto gen =
+                        makeSynthGenerator(bench, p, ctx.n(p.ops));
+                    runTrace(ctx.machine(), *gen);
+                    return;
+                }
+                auto streams =
+                    makeSynthStreams(bench, p, ctx.n(p.ops), cores);
+                std::vector<TraceReader *> raw;
+                raw.reserve(streams.size());
+                for (const auto &s : streams)
+                    raw.push_back(s.get());
+                runTraceInterleaved(ctx.machine(), raw);
             }};
 }
+
+// Security bytes at offsets 56-58 of a protected line: clear of the
+// first 56 bytes, where every generator's 8B accesses land with the
+// default 64B stride, so the preamble protects without perturbing the
+// benign traffic (sub-line strides may legitimately trip them, which
+// the exception unit absorbs like any attack probe).
+constexpr SecurityMask kProtectMask = 0x0700'0000'0000'0000ull;
+
+/**
+ * The hottest lines a generator will share across cores, per workload:
+ * zipf's top-ranked slots (through the same rank->slot hash the
+ * generator uses), the stream scan's first lines, and the ring's
+ * control word plus leading slots. stackchurn and attackmix already
+ * issue their own CFORM traffic over shared lines, so they need no
+ * preamble.
+ */
+Trace
+protectPreamble(const std::string &name, const SynthParams &p)
+{
+    std::vector<Addr> lines;
+    const std::size_t stride = roundedStride(p);
+    const std::size_t want = p.protectLines;
+    const auto addLine = [&lines, want](Addr addr) {
+        const Addr la = lineBase(addr);
+        if (lines.size() < want &&
+            std::find(lines.begin(), lines.end(), la) == lines.end())
+            lines.push_back(la);
+    };
+
+    if (want) {
+        if (name == "zipf") {
+            const std::size_t slots = std::max<std::size_t>(
+                1, p.footprintKb * 1024 / stride);
+            for (std::size_t rank = 0;
+                 lines.size() < want && rank < 8 * want + 64; ++rank) {
+                const std::size_t slot = static_cast<std::size_t>(
+                                             rank *
+                                             0x9e3779b97f4a7c15ull) %
+                                         slots;
+                addLine(kZipfBase + slot * stride);
+            }
+        } else if (name == "stream") {
+            const std::size_t slots = std::max<std::size_t>(
+                1, p.footprintKb * 1024 / stride);
+            for (std::size_t i = 0; lines.size() < want && i < slots;
+                 ++i)
+                addLine(kStreamBase + i * stride);
+        } else if (name == "ring") {
+            const std::size_t slots =
+                std::max<std::size_t>(2, p.ringSlots);
+            addLine(kRingBase);
+            for (std::size_t i = 0; lines.size() < want && i < slots;
+                 ++i)
+                addLine(kRingBase + 64 + i * stride);
+        }
+    }
+
+    Trace out;
+    out.reserve(lines.size());
+    for (const Addr la : lines)
+        out.push_back(TraceOp::cformOp(makeSetOp(la, kProtectMask)));
+    return out;
+}
+
+/** A fixed op prefix stitched in front of another stream. */
+class PreambleReader final : public TraceReader
+{
+  public:
+    PreambleReader(Trace preamble, std::unique_ptr<TraceReader> rest)
+        : preamble_(std::move(preamble)), rest_(std::move(rest))
+    {}
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (pos_ < preamble_.size()) {
+            op = preamble_[pos_++];
+            return true;
+        }
+        return rest_->next(op);
+    }
+
+  private:
+    Trace preamble_;
+    std::size_t pos_ = 0;
+    std::unique_ptr<TraceReader> rest_;
+};
 
 } // namespace
 
@@ -411,6 +512,27 @@ makeSynthGenerator(const std::string &name, const SynthParams &params,
     if (name == "attackmix")
         return std::make_unique<AttackMixGenerator>(params, ops);
     throw std::invalid_argument("unknown synthetic workload: " + name);
+}
+
+std::vector<std::unique_ptr<TraceReader>>
+makeSynthStreams(const std::string &name, const SynthParams &params,
+                 std::uint64_t ops_per_core, unsigned cores)
+{
+    std::vector<std::unique_ptr<TraceReader>> streams;
+    streams.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        SynthParams pc = params;
+        pc.seed = params.seed + params.coreSeedStride * c;
+        auto gen = makeSynthGenerator(name, pc, ops_per_core);
+        if (c == 0 && cores > 1) {
+            Trace pre = protectPreamble(name, params);
+            if (!pre.empty())
+                gen = std::make_unique<PreambleReader>(std::move(pre),
+                                                       std::move(gen));
+        }
+        streams.push_back(std::move(gen));
+    }
+    return streams;
 }
 
 const std::vector<SpecBenchmark> &

@@ -58,9 +58,25 @@ std::unique_ptr<TraceReader> makeSynthGenerator(const std::string &name,
                                                 const SynthParams &params,
                                                 std::uint64_t ops);
 
+/**
+ * Fan one synthetic spec into per-core streams for a multi-core
+ * machine: core c runs generator @p name with seed
+ * params.seed + params.coreSeedStride * c, each producing
+ * @p ops_per_core operations (constant work per core). When @p cores >
+ * 1 and params.protectLines > 0, core 0's stream is prefixed with a
+ * CFORM protect-preamble over the workload's hottest shared lines, so
+ * cross-core handoffs of those lines exercise the sentinel conversion
+ * path under coherence. Feed the result to runTraceInterleaved.
+ */
+std::vector<std::unique_ptr<TraceReader>>
+makeSynthStreams(const std::string &name, const SynthParams &params,
+                 std::uint64_t ops_per_core, unsigned cores);
+
 /** The synthetic workloads as campaign benchmarks. Each entry streams
  *  its generator into the context machine with ops scaled by
- *  run.scale; none is part of the paper's software-eval suite. */
+ *  run.scale; none is part of the paper's software-eval suite. On a
+ *  multi-core machine the spec fans out per core (makeSynthStreams)
+ *  and replays through the deterministic round-robin interleaver. */
 const std::vector<SpecBenchmark> &synthSuite();
 
 } // namespace califorms

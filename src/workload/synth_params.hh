@@ -40,6 +40,18 @@ struct SynthParams
     /** Generator stream seed — independent of the layout and kernel
      *  seeds, so the same stream replays on any machine variant. */
     std::uint64_t seed = 0xacce55;
+    /** Multi-core fan-out: core c's stream is seeded
+     *  seed + coreSeedStride * c, so the per-core streams are distinct
+     *  but individually reproducible. Stride 0 gives every core the
+     *  identical stream (maximum sharing). */
+    std::uint64_t coreSeedStride = 1;
+    /** Multi-core fan-out: before its stream starts, core 0 CFORM-
+     *  protects this many of the workload's hottest shared lines
+     *  (security bytes in the tail, clear of the data the generators
+     *  touch), so coherence handoffs exercise the sentinel encode /
+     *  decode path. 0 disables the preamble. Single-core runs never
+     *  emit it. */
+    std::size_t protectLines = 8;
 };
 
 } // namespace califorms

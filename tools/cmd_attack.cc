@@ -206,6 +206,16 @@ cmdAttack(int argc, char **argv)
     s.seed = rc.layoutSeed;
     s.machine = rc.machine;
 
+    // The attacker is a single agent probing from one core; a
+    // multi-core machine would be a silent no-op here.
+    if (s.machine.core.count > 1) {
+        std::fprintf(stderr,
+                     "%s: core.count=%u has no effect on an attack "
+                     "replay (the attacker probes from one core)\n",
+                     prog, s.machine.core.count);
+        return 2;
+    }
+
     if (scenario == "scan")
         return runScan(s);
     if (scenario == "probe")

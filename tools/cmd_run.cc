@@ -37,6 +37,9 @@ usage()
         "  --seed N        layout randomization seed (default 7)\n"
         "  --no-cform      allocate layouts but never issue CFORMs\n"
         "  --extra-latency add one cycle to L2 and L3 (Figure 10)\n"
+        "  --cores N       multi-core machine (synthetic workloads "
+        "only);\n"
+        "                  alias for --set core.count=N\n"
         "%s\n",
         config::cliUsage().c_str());
 }
@@ -65,6 +68,25 @@ report(const RunResult &r, const RunConfig &config)
                 static_cast<unsigned long long>(r.heap.allocs),
                 static_cast<unsigned long long>(r.heap.frees),
                 r.exceptionsDelivered, r.exceptionsSuppressed);
+    if (r.cores.empty())
+        return;
+    std::printf("  coherence: invalidations=%llu dirtyRecalls=%llu "
+                "convUnderInval=%llu convCycles=%llu\n",
+                static_cast<unsigned long long>(r.mem.invalidationsSent),
+                static_cast<unsigned long long>(r.mem.dirtyRecalls),
+                static_cast<unsigned long long>(r.mem.convUnderInval),
+                static_cast<unsigned long long>(
+                    r.mem.coherenceConvCycles));
+    for (std::size_t c = 0; c < r.cores.size(); ++c) {
+        const CoreRunStats &core = r.cores[c];
+        std::printf("  core%zu: cycles=%llu instructions=%llu "
+                    "l1miss%%=%.2f spills=%llu fills=%llu\n",
+                    c, static_cast<unsigned long long>(core.cycles),
+                    static_cast<unsigned long long>(core.instructions),
+                    100.0 * core.mem.l1.missRate(),
+                    static_cast<unsigned long long>(core.mem.spills),
+                    static_cast<unsigned long long>(core.mem.fills));
+    }
 }
 
 } // namespace
@@ -138,6 +160,19 @@ cmdRun(int argc, char **argv)
     RunConfig config;
     config.scale = 0.5;
     cfg.applyTo(config);
+
+    // Only the synthetic workloads fan out one stream per core;
+    // running a single-threaded kernel on a multi-core machine would
+    // silently misreport scaling, so reject it here with a friendlier
+    // message than the runBenchmark throw.
+    if (config.machine.core.count > 1 && !isSynthWorkload(bench_name)) {
+        std::fprintf(stderr,
+                     "califorms run: benchmark '%s' cannot honor "
+                     "core.count=%u (only the synthetic workloads run "
+                     "multi-core)\n",
+                     bench_name.c_str(), config.machine.core.count);
+        return 2;
+    }
 
     if (bench_name == "all") {
         for (const auto &b : spec2006Suite())

@@ -27,7 +27,9 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "sim/stats_dump.hh"
 #include "sim/trace.hh"
@@ -51,14 +53,16 @@ usage()
         "%s]\n"
         "                           [--set workload.key=value] "
         "[--config FILE]\n"
-        "       califorms trace run <FILE|-> [--stats] [--set "
-        "key=value] [--config FILE]\n"
+        "       califorms trace run <FILE|-> [FILE...] [--stats] "
+        "[--set key=value] [--config FILE]\n"
         "       califorms trace conv <IN|-> <OUT|-> --to text|bin\n"
         "\n"
         "trace run auto-detects the trace format and replays on the "
         "registry-default\nmachine; --set and --config (plus the "
-        "legacy alias flags, e.g. --levels,\n--l2-kb) reconfigure "
-        "it.\n",
+        "legacy alias flags, e.g. --levels,\n--l2-kb, --cores) "
+        "reconfigure it. On a multi-core machine (--set\n"
+        "core.count=N) trace run takes exactly N trace files, one "
+        "stream per core,\ninterleaved round-robin.\n",
         workloads.c_str());
 }
 
@@ -288,7 +292,7 @@ traceGen(int argc, char **argv)
 int
 traceRun(int argc, char **argv)
 {
-    std::string path;
+    std::vector<std::string> paths;
     bool stats = false;
     config::Config cfg;
 
@@ -305,14 +309,17 @@ traceRun(int argc, char **argv)
         }
         if (arg == "--stats")
             stats = true;
-        else if (path.empty())
-            path = arg;
+        else if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg == "-" || arg[0] != '-')
+            paths.push_back(arg);
         else {
             usage();
             return 2;
         }
     }
-    if (path.empty()) {
+    if (paths.empty()) {
         usage();
         return 2;
     }
@@ -333,15 +340,33 @@ traceRun(int argc, char **argv)
     }
 
     Machine machine(cfg.makeRunConfig().machine);
+    if (paths.size() != machine.coreCount()) {
+        std::fprintf(stderr,
+                     "califorms trace: %zu trace file(s) for a "
+                     "%u-core machine (trace run takes exactly one "
+                     "stream per core; set --set core.count=%zu or "
+                     "pass %u file(s))\n",
+                     paths.size(), machine.coreCount(), paths.size(),
+                     machine.coreCount());
+        return 2;
+    }
     std::uint64_t replayed = 0;
     std::uint64_t checksum = 0;
     try {
-        std::ifstream file;
-        std::istream *const is = openInput(path, file);
-        if (!is)
-            return 1;
-        const auto reader = openTraceReader(*is);
-        checksum = runTrace(machine, *reader, &replayed);
+        std::vector<std::ifstream> files(paths.size());
+        std::vector<std::unique_ptr<TraceReader>> readers;
+        std::vector<TraceReader *> streams;
+        for (std::size_t c = 0; c < paths.size(); ++c) {
+            std::istream *const is = openInput(paths[c], files[c]);
+            if (!is)
+                return 1;
+            readers.push_back(openTraceReader(*is));
+            streams.push_back(readers.back().get());
+        }
+        checksum = paths.size() == 1
+                       ? runTrace(machine, *streams[0], &replayed)
+                       : runTraceInterleaved(machine, streams,
+                                             &replayed);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "califorms trace: %s\n", e.what());
         return 1;

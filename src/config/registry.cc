@@ -331,6 +331,61 @@ ParamRegistry::ParamRegistry()
         [](RunConfig &rc, std::uint64_t v) {
             rc.machine.mem.wbHitLatency = static_cast<Cycles>(v);
         }));
+    specs_.push_back(uintKnob(
+        "mem.mshr_entries", 0, 512, "--mshrs",
+        "miss-status holding registers between the L1 and the shared "
+        "side (0 = legacy blocking miss path)",
+        [](const RunConfig &rc) { return rc.machine.mem.mshrEntries; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.mshrEntries = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.dram_banks", 0, 64, "--dram-banks",
+        "DRAM banks with per-bank open-row timing (0 = flat "
+        "mem.dram_latency model)",
+        [](const RunConfig &rc) { return rc.machine.mem.dramBanks; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.dramBanks = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.dram_row_kb", 1, 1024, "",
+        "DRAM row-buffer (page) size per bank in KB",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.dramRowBytes / 1024;
+        },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.dramRowBytes =
+                static_cast<std::size_t>(v) * 1024;
+        }));
+    specs_.push_back(uintKnob(
+        "mem.dram_row_hit_latency", 1, 100000, "",
+        "banked DRAM: latency of an access hitting the open row",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.dramRowHitLatency;
+        },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.dramRowHitLatency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.dram_row_miss_latency", 1, 100000, "",
+        "banked DRAM: latency of an access to a bank with no open row",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.dramRowMissLatency;
+        },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.dramRowMissLatency = static_cast<Cycles>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "mem.dram_row_conflict_latency", 1, 100000, "",
+        "banked DRAM: latency when another row is open (precharge + "
+        "activate)",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.dramRowConflictLatency;
+        },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.machine.mem.dramRowConflictLatency =
+                static_cast<Cycles>(v);
+        }));
     specs_.push_back(boolKnob(
         "mem.next_line_prefetch",
         "next-line prefetch into the L2 on L1 misses",

@@ -125,6 +125,22 @@ runJson(std::ostringstream &os, const RunUnit &unit,
         }
         os << "]";
     }
+    // Runs whose resolved config enables the non-blocking timing
+    // model carry the mshr.*/dram row-buffer counters; flat-latency
+    // runs omit the block, so every historical report stays
+    // byte-identical.
+    const MemSysParams &unit_mem = unit.config.machine.mem;
+    if (schema == ReportSchema::V2 &&
+        (unit_mem.mshrEntries > 0 || unit_mem.dramBanks > 0)) {
+        os << ",\n     \"memlp\": {";
+        first = true;
+        for (const StatEntry &e : memlpStatEntries(r.mem, unit_mem)) {
+            os << (first ? "" : ", ") << jsonString(e.name) << ": "
+               << jsonNumber(e.value);
+            first = false;
+        }
+        os << "}";
+    }
     os << ",\n     \"heap\": {\"allocs\": " << u64(r.heap.allocs)
        << ", \"frees\": " << u64(r.heap.frees)
        << ", \"reuses\": " << u64(r.heap.reuses)

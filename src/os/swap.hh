@@ -23,13 +23,15 @@ namespace califorms
 
 /**
  * Minimal interface the swap manager needs from main memory: read and
- * write whole lines including their califormed (ECC) bit.
+ * write whole lines including their califormed (ECC) bit. Both are
+ * mutating operations — implementations count accesses — so the
+ * manager must hold a non-const store.
  */
 class LineStore
 {
   public:
     virtual ~LineStore() = default;
-    virtual SentinelLine readLine(Addr line_addr) const = 0;
+    virtual SentinelLine readLine(Addr line_addr) = 0;
     virtual void writeLine(Addr line_addr, const SentinelLine &line) = 0;
 };
 

@@ -1,0 +1,65 @@
+#include "sim/dram_timing.hh"
+
+namespace califorms
+{
+
+DramTiming::DramTiming(const MemSysParams &params)
+    : banks_(params.dramBanks),
+      rowBytes_(params.dramRowBytes ? params.dramRowBytes : 1),
+      rowHitLatency_(params.dramRowHitLatency),
+      rowMissLatency_(params.dramRowMissLatency),
+      rowConflictLatency_(params.dramRowConflictLatency)
+{
+}
+
+DramTiming::Bank &
+DramTiming::bankFor(Addr line_addr, std::uint64_t &row)
+{
+    const std::uint64_t global_row = line_addr / rowBytes_;
+    row = global_row / banks_.size();
+    return banks_[global_row % banks_.size()];
+}
+
+Cycles
+DramTiming::serviceLatency(Bank &bank, std::uint64_t row)
+{
+    Cycles service;
+    if (!bank.opened) {
+        service = rowMissLatency_;
+        ++stats_.rowMisses;
+    } else if (bank.openRow == row) {
+        service = rowHitLatency_;
+        ++stats_.rowHits;
+    } else {
+        service = rowConflictLatency_;
+        ++stats_.rowConflicts;
+    }
+    bank.opened = true;
+    bank.openRow = row;
+    return service;
+}
+
+DramTiming::ServiceTime
+DramTiming::access(Addr line_addr, Cycles now)
+{
+    lastTime_ = now;
+    std::uint64_t row;
+    Bank &bank = bankFor(line_addr, row);
+    const Cycles start = bank.busyUntil > now ? bank.busyUntil : now;
+    stats_.bankConflictCycles += start - now;
+    const Cycles service = serviceLatency(bank, row);
+    bank.busyUntil = start + service;
+    return {start - now, service};
+}
+
+void
+DramTiming::occupy(Addr line_addr)
+{
+    std::uint64_t row;
+    Bank &bank = bankFor(line_addr, row);
+    const Cycles start =
+        bank.busyUntil > lastTime_ ? bank.busyUntil : lastTime_;
+    bank.busyUntil = start + serviceLatency(bank, row);
+}
+
+} // namespace califorms

@@ -1,0 +1,110 @@
+/**
+ * @file dram_timing.hh
+ * Banked open-page DRAM timing behind MainMemory. The functional
+ * memory is still a flat line store; this model only decides how many
+ * cycles each line transfer costs once `mem.dram_banks > 0`.
+ *
+ * Address mapping: global row = line_addr / dramRowBytes, bank =
+ * row % banks, so consecutive rows interleave round-robin across the
+ * banks (a streaming access that walks rows touches every bank before
+ * it reuses one). Each bank holds one open row (open-page policy,
+ * rows are never proactively closed): the service latency is the
+ * row-hit latency when the open row matches, the row-miss latency on
+ * a bank that has nothing open yet, and the row-conflict latency
+ * (precharge + activate) when a different row is open.
+ *
+ * Banks are busy for their service time, so back-to-back traffic to
+ * the same bank queues — the wait is counted in
+ * dram.bankConflictCycles and returned separately from the service
+ * latency: the requester charges only the service to the access (the
+ * out-of-order window overlaps queueing with other work) but keeps
+ * the wait in the fill's completion time, so bank pressure surfaces
+ * as MSHR occupancy / structural stalls rather than as a per-access
+ * charge multiplied by the queue depth. Write-backs and coherence
+ * dirty-recalls occupy banks too (occupy()): they steal bank time
+ * from later demand fetches and move the open row, but being off the
+ * load critical path they do not report a wait of their own.
+ */
+
+#ifndef CALIFORMS_SIM_DRAM_TIMING_HH
+#define CALIFORMS_SIM_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/params.hh"
+#include "util/types.hh"
+
+namespace califorms
+{
+
+/** Row-buffer and bank-contention counters (dram.* stats). */
+struct DramTimingStats
+{
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;     //!< bank had no open row
+    std::uint64_t rowConflicts = 0;  //!< another row was open
+    std::uint64_t bankConflictCycles = 0; //!< demand waits on busy banks
+};
+
+class DramTiming
+{
+  public:
+    explicit DramTiming(const MemSysParams &params);
+
+    /** Whether banked timing is modelled (mem.dram_banks > 0). */
+    bool enabled() const { return !banks_.empty(); }
+
+    /** Timing of one demand transfer, split so the caller can charge
+     *  the service and carry the queue wait in the fill lifetime. */
+    struct ServiceTime
+    {
+        Cycles queueWait = 0; //!< cycles the bank was still busy
+        Cycles service = 0;   //!< row-buffer service latency
+    };
+
+    /**
+     * A demand line transfer issued at absolute time @p now: waits for
+     * the bank if busy (counted in bankConflictCycles), then pays the
+     * row-buffer service latency. The transfer completes at
+     * now + queueWait + service. Call only when enabled().
+     */
+    ServiceTime access(Addr line_addr, Cycles now);
+
+    /**
+     * A non-demand line transfer (write-back drain, dirty-recall
+     * deposit) at the time of the most recent demand access: occupies
+     * the bank and moves its open row, counting row hit/miss/conflict
+     * but reporting no wait of its own. Call only when enabled().
+     */
+    void occupy(Addr line_addr);
+
+    const DramTimingStats &stats() const { return stats_; }
+    void clearStats() { stats_ = DramTimingStats{}; }
+
+  private:
+    struct Bank
+    {
+        Cycles busyUntil = 0;
+        std::uint64_t openRow = 0;
+        bool opened = false; //!< any row opened since power-on
+    };
+
+    /** Service latency for @p row on @p bank, counting the row
+     *  hit/miss/conflict and leaving the row open. */
+    Cycles serviceLatency(Bank &bank, std::uint64_t row);
+
+    Bank &bankFor(Addr line_addr, std::uint64_t &row);
+
+    std::vector<Bank> banks_;
+    std::size_t rowBytes_;
+    Cycles rowHitLatency_;
+    Cycles rowMissLatency_;
+    Cycles rowConflictLatency_;
+    Cycles lastTime_ = 0; //!< issue time of the latest demand access
+    DramTimingStats stats_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_DRAM_TIMING_HH

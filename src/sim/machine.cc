@@ -30,7 +30,11 @@ std::uint64_t
 Machine::loadOn(unsigned core, Addr addr, unsigned size,
                 bool depends_on_prev)
 {
-    const auto res = mems_.at(core)->load(addr, size);
+    MemorySystem &mem = *mems_.at(core);
+    // Keep the timed miss path's issue clock in step with how far
+    // this core's retire clock has actually advanced.
+    mem.syncClock(cores_[core].cycles());
+    const auto res = mem.load(addr, size);
     cores_[core].retireLoad(res.latency, depends_on_prev);
     return res.value;
 }
@@ -39,14 +43,18 @@ void
 Machine::storeOn(unsigned core, Addr addr, unsigned size,
                  std::uint64_t value)
 {
-    const auto res = mems_.at(core)->store(addr, size, value);
+    MemorySystem &mem = *mems_.at(core);
+    mem.syncClock(cores_[core].cycles());
+    const auto res = mem.store(addr, size, value);
     cores_[core].retireStore(res.latency);
 }
 
 void
 Machine::cformOn(unsigned core, const CformOp &op)
 {
-    const auto res = mems_.at(core)->cform(op);
+    MemorySystem &mem = *mems_.at(core);
+    mem.syncClock(cores_[core].cycles());
+    const auto res = mem.cform(op);
     cores_[core].retireCform(res.latency);
 }
 
@@ -175,6 +183,13 @@ Machine::memStats() const
         out.wbForcedDrains += p.wbForcedDrains;
         out.wbPeakOccupancy =
             std::max(out.wbPeakOccupancy, p.wbPeakOccupancy);
+        out.mshrAllocations += p.mshrAllocations;
+        out.mshrCoalesced += p.mshrCoalesced;
+        out.mshrStallCycles += p.mshrStallCycles;
+        // Per-core tables: the machine-level high-water mark is the
+        // fullest any one table got, not a sum across cores.
+        out.mshrPeakOccupancy =
+            std::max(out.mshrPeakOccupancy, p.mshrPeakOccupancy);
     }
     shared_.mergeStatsInto(out);
     return out;

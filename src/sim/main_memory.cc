@@ -6,11 +6,20 @@ namespace califorms
 {
 
 SentinelLine
-MainMemory::readLine(Addr line_addr) const
+MainMemory::readLine(Addr line_addr)
 {
     if (lineOffset(line_addr) != 0)
         throw std::invalid_argument("MainMemory: unaligned line read");
     ++reads_;
+    auto it = lines_.find(line_addr);
+    return it != lines_.end() ? it->second : SentinelLine{};
+}
+
+SentinelLine
+MainMemory::peekLine(Addr line_addr) const
+{
+    if (lineOffset(line_addr) != 0)
+        throw std::invalid_argument("MainMemory: unaligned line peek");
     auto it = lines_.find(line_addr);
     return it != lines_.end() ? it->second : SentinelLine{};
 }

@@ -21,8 +21,13 @@ namespace califorms
 class MainMemory : public LineStore
 {
   public:
-    /** Read the line at @p line_addr (zero/clean if never written). */
-    SentinelLine readLine(Addr line_addr) const override;
+    /** Read the line at @p line_addr (zero/clean if never written).
+     *  Counted: mutates the read counter, so demand paths need a
+     *  non-const memory — no counter writes hide behind const. */
+    SentinelLine readLine(Addr line_addr) override;
+
+    /** Uncounted lookup for functional (untimed) inspection paths. */
+    SentinelLine peekLine(Addr line_addr) const;
 
     /** Write a full line including its ECC califormed bit. */
     void writeLine(Addr line_addr, const SentinelLine &line) override;
@@ -38,7 +43,7 @@ class MainMemory : public LineStore
 
   private:
     std::unordered_map<Addr, SentinelLine> lines_;
-    mutable std::uint64_t reads_ = 0;
+    std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
 };
 

@@ -14,7 +14,7 @@ MemorySystem::MemorySystem(const MemSysParams &params,
     : params_(params), exceptions_(exceptions),
       l1_(params.l1Size, params.l1Ways),
       ownedShared_(std::make_unique<SharedMemory>(params)),
-      shared_(ownedShared_.get())
+      shared_(ownedShared_.get()), mshr_(params.mshrEntries)
 {
     coreId_ = shared_->attachPeer(*this);
 }
@@ -22,9 +22,48 @@ MemorySystem::MemorySystem(const MemSysParams &params,
 MemorySystem::MemorySystem(const MemSysParams &params,
                            ExceptionUnit &exceptions, SharedMemory &shared)
     : params_(params), exceptions_(exceptions),
-      l1_(params.l1Size, params.l1Ways), shared_(&shared)
+      l1_(params.l1Size, params.l1Ways), shared_(&shared),
+      mshr_(params.mshrEntries)
 {
     coreId_ = shared_->attachPeer(*this);
+}
+
+MemorySystem::WbEntry *
+MemorySystem::wbqFind(Addr line_addr)
+{
+    const auto it = wbqIndex_.find(line_addr);
+    if (it == wbqIndex_.end())
+        return nullptr;
+    return &wbq_[static_cast<std::size_t>(it->second - wbqHeadSeq_)];
+}
+
+const MemorySystem::WbEntry *
+MemorySystem::wbqFind(Addr line_addr) const
+{
+    const auto it = wbqIndex_.find(line_addr);
+    if (it == wbqIndex_.end())
+        return nullptr;
+    return &wbq_[static_cast<std::size_t>(it->second - wbqHeadSeq_)];
+}
+
+void
+MemorySystem::wbqTrimFront()
+{
+    while (!wbq_.empty() && !wbq_.front().live) {
+        wbq_.pop_front();
+        ++wbqHeadSeq_;
+    }
+}
+
+void
+MemorySystem::wbqErase(Addr line_addr)
+{
+    WbEntry *e = wbqFind(line_addr);
+    assert(e && e->live && "wbqErase: entry must be live and indexed");
+    e->live = false;
+    wbqIndex_.erase(line_addr);
+    --wbqLive_;
+    wbqTrimFront();
 }
 
 Cycles
@@ -35,7 +74,7 @@ MemorySystem::l2HitLatency() const
 
 SentinelLine
 MemorySystem::fetchBelowL1(Addr line_addr, Cycles &latency, bool &dirty,
-                           bool for_write)
+                           bool for_write, Cycles *bank_wait)
 {
     dirty = false;
 
@@ -43,29 +82,52 @@ MemorySystem::fetchBelowL1(Addr line_addr, Cycles &latency, bool &dirty,
     // hierarchy: a miss that matches a queued line pulls it straight
     // back (victim-buffer hit; the queue held the only copy, so the
     // refilled L1 line must stay dirty).
-    for (auto it = wbq_.begin(); it != wbq_.end(); ++it) {
-        if (it->lineAddr == line_addr) {
-            latency += params_.wbHitLatency;
-            ++stats_.wbHits;
-            SentinelLine line = it->line;
-            wbq_.erase(it);
-            dirty = true;
-            return line;
-        }
+    if (const WbEntry *e = wbqFind(line_addr)) {
+        latency += params_.wbHitLatency;
+        ++stats_.wbHits;
+        SentinelLine line = e->line;
+        wbqErase(line_addr);
+        dirty = true;
+        return line;
     }
 
     const auto fetched =
-        shared_->fetchLine(line_addr, latency, coreId_, for_write);
+        shared_->fetchLine(line_addr, latency, coreId_, for_write, now_);
     dirty = fetched.dirtyHandoff;
+    if (bank_wait)
+        *bank_wait = fetched.bankQueueWait;
     return fetched.line;
 }
 
 BitVectorLine &
 MemorySystem::refillL1(Addr line_addr, Cycles &latency, bool for_write)
 {
+    // Non-blocking timing: an L1 refill needs a miss-status entry
+    // before it can issue below. With MSHRs a full table is a
+    // structural stall until the earliest outstanding fill retires its
+    // entry; without them (but with banked DRAM timing on) the miss
+    // path is blocking — each refill waits out the previous one.
+    if (timingEnabled()) {
+        if (params_.mshrEntries) {
+            if (mshr_.occupancy(now_) >= params_.mshrEntries) {
+                const Cycles ready = mshr_.earliestReady();
+                const Cycles wait = ready - now_;
+                mshr_.noteStall(wait);
+                latency += wait;
+                now_ = ready;
+            }
+        } else if (lastMissReady_ > now_) {
+            const Cycles wait = lastMissReady_ - now_;
+            latency += wait;
+            now_ = lastMissReady_;
+        }
+    }
+    const Cycles miss_entry = latency;
+
     bool dirty = false;
+    Cycles bank_wait = 0;
     const SentinelLine below =
-        fetchBelowL1(line_addr, latency, dirty, for_write);
+        fetchBelowL1(line_addr, latency, dirty, for_write, &bank_wait);
     if (below.califormed) {
         ++stats_.fills;
         stats_.fillConvCycles += params_.fillConvLatency;
@@ -99,15 +161,21 @@ MemorySystem::refillL1(Addr line_addr, Cycles &latency, bool for_write)
     // anything below, so it is never prefetched over.
     if (params_.nextLinePrefetch && shared_->levelCount()) {
         const Addr next = line_addr + lineBytes;
-        bool queued = false;
-        for (const WbEntry &e : wbq_) {
-            if (e.lineAddr == next) {
-                queued = true;
-                break;
-            }
-        }
-        if (!queued && !l1_.peek(next))
+        if (!wbqFind(next) && !l1_.peek(next))
             shared_->prefetchInto(next);
+    }
+
+    // Everything since the entry check — the fetch below, any fill
+    // conversion, and any victim spill charged to this access — plus
+    // any time the DRAM transfer queued behind a busy bank (carried
+    // here, not in the charged latency) — is the fill time this
+    // refill's miss-status entry stays live for.
+    if (timingEnabled()) {
+        const Cycles fill_done = now_ + (latency - miss_entry) + bank_wait;
+        if (params_.mshrEntries)
+            mshr_.allocate(line_addr, fill_done, now_);
+        else
+            lastMissReady_ = fill_done;
     }
 
     BitVectorLine *resident = l1_.peek(line_addr);
@@ -152,17 +220,17 @@ MemorySystem::enqueueWriteBack(Addr line_addr, const SentinelLine &line)
     // A line can be pushed below twice without an intervening fetch
     // (the non-temporal CFORM path); the newer copy supersedes the
     // queued one.
-    for (WbEntry &e : wbq_) {
-        if (e.lineAddr == line_addr) {
-            e.line = line;
-            return;
-        }
+    if (WbEntry *e = wbqFind(line_addr)) {
+        e->line = line;
+        return;
     }
-    wbq_.push_back({line_addr, line});
+    wbqIndex_[line_addr] = wbqHeadSeq_ + wbq_.size();
+    wbq_.push_back({line_addr, line, true});
+    ++wbqLive_;
     ++stats_.wbEnqueued;
-    if (wbq_.size() > stats_.wbPeakOccupancy)
-        stats_.wbPeakOccupancy = wbq_.size();
-    if (wbq_.size() > params_.wbQueueEntries) {
+    if (wbqLive_ > stats_.wbPeakOccupancy)
+        stats_.wbPeakOccupancy = wbqLive_;
+    if (wbqLive_ > params_.wbQueueEntries) {
         ++stats_.wbForcedDrains;
         drainOneWriteBack();
     }
@@ -171,10 +239,14 @@ MemorySystem::enqueueWriteBack(Addr line_addr, const SentinelLine &line)
 void
 MemorySystem::drainOneWriteBack()
 {
+    wbqTrimFront();
     if (wbq_.empty())
         return;
     WbEntry entry = std::move(wbq_.front());
+    wbqIndex_.erase(entry.lineAddr);
     wbq_.pop_front();
+    ++wbqHeadSeq_;
+    --wbqLive_;
     spillBelowNow(entry.lineAddr, entry.line);
 }
 
@@ -182,6 +254,11 @@ CoherencePeer::Surrender
 MemorySystem::surrenderLine(Addr line_addr, bool invalidate)
 {
     Surrender s;
+    // An invalidated line leaves the core entirely, so a fill still
+    // outstanding for it is cancelled: nothing can coalesce with it
+    // afterwards (the requester's recall carries the data now).
+    if (params_.mshrEntries && invalidate)
+        mshr_.cancel(line_addr);
     if (BitVectorLine *line = l1_.peek(line_addr)) {
         s.hadCopy = true;
         if (l1_.dirtyAt(line_addr)) {
@@ -210,14 +287,12 @@ MemorySystem::surrenderLine(Addr line_addr, bool invalidate)
     }
     // Queue entries are dirty by construction and always leave the core
     // whole; they were encoded when evicted, so no new conversion.
-    for (auto it = wbq_.begin(); it != wbq_.end(); ++it) {
-        if (it->lineAddr == line_addr) {
-            s.hadCopy = true;
-            s.dirty = true;
-            s.line = it->line;
-            wbq_.erase(it);
-            return s;
-        }
+    if (const WbEntry *e = wbqFind(line_addr)) {
+        s.hadCopy = true;
+        s.dirty = true;
+        s.line = e->line;
+        wbqErase(line_addr);
+        return s;
     }
     return s;
 }
@@ -231,15 +306,19 @@ MemorySystem::accessSegment(Addr addr, unsigned size, bool is_store,
     const unsigned off = lineOffset(addr);
     assert(off + size <= lineBytes && "segment must not cross lines");
 
+    noteIssue();
     AccessResult res;
     res.latency =
         params_.l1Latency + l1FormatExtraLatency(params_.l1Format);
 
     BitVectorLine *line = l1_.access(la, false);
-    if (!line)
+    if (!line) {
         line = &refillL1(la, res.latency, is_store);
-    else if (is_store && coherentMulti())
-        shared_->upgrade(coreId_, la, res.latency);
+    } else {
+        res.latency += coalesceWait(la);
+        if (is_store && coherentMulti())
+            shared_->upgrade(coreId_, la, res.latency);
+    }
 
     const std::uint64_t range = bitRange(off, size);
     const std::uint64_t overlap = line->mask & range;
@@ -329,12 +408,15 @@ MemorySystem::wideLoad(Addr addr, unsigned size, SimdPolicy policy)
     const Addr la = lineBase(addr);
     const unsigned off = lineOffset(addr);
 
+    noteIssue();
     WideAccessResult res;
     res.latency = params_.l1Latency;
 
     BitVectorLine *line = l1_.access(la, false);
     if (!line)
         line = &refillL1(la, res.latency, false);
+    else
+        res.latency += coalesceWait(la);
 
     const std::uint64_t range = bitRange(off, size);
     const std::uint64_t overlap = line->mask & range;
@@ -383,6 +465,7 @@ MemorySystem::cform(const CformOp &op)
         throw std::invalid_argument("cform: unaligned line address");
     ++stats_.cformOps;
 
+    noteIssue();
     AccessResult res;
     res.latency = params_.l1Latency;
 
@@ -391,6 +474,7 @@ MemorySystem::cform(const CformOp &op)
         // polluting the L1 (footnote 3 of Section 6.1). If the line is
         // in the L1 it is updated in place instead.
         if (BitVectorLine *line = l1_.access(op.lineAddr, false)) {
+            res.latency += coalesceWait(op.lineAddr);
             if (coherentMulti())
                 shared_->upgrade(coreId_, op.lineAddr, res.latency);
             if (auto fault = checkCform(*line, op)) {
@@ -430,10 +514,13 @@ MemorySystem::cform(const CformOp &op)
 
     // Regular CFORM: store-like with write-allocate (Section 4.1).
     BitVectorLine *line = l1_.access(op.lineAddr, false);
-    if (!line)
+    if (!line) {
         line = &refillL1(op.lineAddr, res.latency, true);
-    else if (coherentMulti())
-        shared_->upgrade(coreId_, op.lineAddr, res.latency);
+    } else {
+        res.latency += coalesceWait(op.lineAddr);
+        if (coherentMulti())
+            shared_->upgrade(coreId_, op.lineAddr, res.latency);
+    }
 
     if (auto fault = checkCform(*line, op)) {
         ++stats_.securityFaults;
@@ -451,9 +538,8 @@ MemorySystem::functionalRead(Addr line_addr) const
 {
     if (const BitVectorLine *l1 = l1_.peek(line_addr))
         return *l1;
-    for (const WbEntry &e : wbq_)
-        if (e.lineAddr == line_addr)
-            return fillLine(e.line);
+    if (const WbEntry *e = wbqFind(line_addr))
+        return fillLine(e->line);
     return fillLine(shared_->functionalRead(line_addr));
 }
 
@@ -466,11 +552,9 @@ MemorySystem::functionalWrite(Addr line_addr, const BitVectorLine &line)
         return;
     }
     const SentinelLine encoded = spillLine(line);
-    for (WbEntry &e : wbq_) {
-        if (e.lineAddr == line_addr) {
-            e.line = encoded;
-            return;
-        }
+    if (WbEntry *e = wbqFind(line_addr)) {
+        e->line = encoded;
+        return;
     }
     shared_->functionalWrite(line_addr, encoded);
 }
@@ -482,11 +566,9 @@ MemorySystem::peekPrivateLine(Addr line_addr, BitVectorLine &out) const
         out = *l1;
         return true;
     }
-    for (const WbEntry &e : wbq_) {
-        if (e.lineAddr == line_addr) {
-            out = fillLine(e.line);
-            return true;
-        }
+    if (const WbEntry *e = wbqFind(line_addr)) {
+        out = fillLine(e->line);
+        return true;
     }
     return false;
 }
@@ -499,11 +581,9 @@ MemorySystem::pokePrivateLine(Addr line_addr, const BitVectorLine &line)
         return true;
     }
     const SentinelLine encoded = spillLine(line);
-    for (WbEntry &e : wbq_) {
-        if (e.lineAddr == line_addr) {
-            e.line = encoded;
-            return true;
-        }
+    if (WbEntry *e = wbqFind(line_addr)) {
+        e->line = encoded;
+        return true;
     }
     return false;
 }
@@ -551,7 +631,7 @@ MemorySystem::flushPrivate()
 {
     // Queued write-backs are older than anything still resident; drain
     // them into the hierarchy first so the level sweep below sees them.
-    while (!wbq_.empty())
+    while (wbqLive_ > 0)
         drainOneWriteBack();
 
     l1_.forEachLine([this](Addr la, BitVectorLine &line, bool dirty) {
@@ -581,6 +661,10 @@ MemorySystem::privateStats() const
 {
     MemSysStats out = stats_;
     out.l1 = l1_.stats();
+    out.mshrAllocations = mshr_.stats().allocations;
+    out.mshrCoalesced = mshr_.stats().coalesced;
+    out.mshrStallCycles = mshr_.stats().stallCycles;
+    out.mshrPeakOccupancy = mshr_.stats().peakOccupancy;
     return out;
 }
 
@@ -598,9 +682,13 @@ MemorySystem::clearStats()
     stats_ = MemSysStats{};
     // The queue's high-water mark restarts at its current occupancy:
     // whatever is queued now is already "in" the new measurement
-    // window, so a window that never enqueues still reports it.
-    stats_.wbPeakOccupancy = wbq_.size();
+    // window, so a window that never enqueues still reports it. The
+    // MSHR table follows the same convention for fills still in
+    // flight. Clocks and bank/row state are machine state, not
+    // statistics; they carry across the window boundary.
+    stats_.wbPeakOccupancy = wbqLive_;
     l1_.clearStats();
+    mshr_.clearStats(now_);
     shared_->clearStats();
 }
 

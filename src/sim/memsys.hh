@@ -51,6 +51,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cform.hh"
@@ -58,6 +59,7 @@
 #include "os/exception_unit.hh"
 #include "sim/cache_array.hh"
 #include "sim/main_memory.hh"
+#include "sim/mshr.hh"
 #include "sim/params.hh"
 #include "sim/shared_mem.hh"
 
@@ -93,6 +95,21 @@ struct MemSysStats
     std::uint64_t dirtyRecalls = 0;      //!< modified lines recalled
     std::uint64_t convUnderInval = 0;    //!< recalls that forced an encode
     std::uint64_t coherenceConvCycles = 0; //!< latency charged for those
+
+    // MSHR behaviour (all zero when mem.mshr_entries == 0). Private-
+    // side counters; Machine merges peakOccupancy with max, the rest
+    // with sums.
+    std::uint64_t mshrAllocations = 0;   //!< primary misses
+    std::uint64_t mshrCoalesced = 0;     //!< secondary misses merged
+    std::uint64_t mshrStallCycles = 0;   //!< waited with the table full
+    std::uint64_t mshrPeakOccupancy = 0; //!< high-water mark
+
+    // Banked DRAM row-buffer behaviour (all zero when mem.dram_banks
+    // == 0). Shared-side counters, like dramAccesses.
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+    std::uint64_t dramRowConflicts = 0;
+    std::uint64_t dramBankConflictCycles = 0;
 };
 
 class MemorySystem : public CoherencePeer
@@ -163,6 +180,25 @@ class MemorySystem : public CoherencePeer
      */
     AccessResult cform(const CformOp &op);
 
+    /**
+     * Pull the issue clock forward to the owning core's retire clock.
+     * The timed miss path places fills on the MSHR table and the
+     * shared bank timeline in issue-clock time; left to itself the
+     * clock advances one cycle per op, so a low-IPC phase would replay
+     * against DRAM at an impossible back-to-back arrival rate and
+     * overstate bank and MSHR contention. The machine calls this
+     * before each op with the analytic core model's cycle count; the
+     * clock never moves backwards, and this is a no-op on the untimed
+     * (default) machine. Standalone MemorySystem users may skip it —
+     * the op-granular clock is exact for cycle-arithmetic unit tests.
+     */
+    void
+    syncClock(Cycles core_now)
+    {
+        if (timingEnabled() && core_now > now_)
+            now_ = core_now;
+    }
+
     // Functional (untimed, unchecked) access for allocator bookkeeping,
     // test oracles and examples. Never raises exceptions and never
     // perturbs cache state or statistics.
@@ -230,11 +266,15 @@ class MemorySystem : public CoherencePeer
     void drainOneWriteBack() override;
 
   private:
-    /** A dirty line waiting in the write-back queue. */
+    /** A dirty line waiting in the write-back queue. Entries removed
+     *  from the middle (victim-buffer hits, coherence surrenders) are
+     *  tombstoned (live = false) instead of erased, so the positions
+     *  recorded in the address index stay valid. */
     struct WbEntry
     {
         Addr lineAddr;
         SentinelLine line;
+        bool live = true;
     };
 
     /** Fetch a line into L1 (miss path); returns latency spent below L1
@@ -245,9 +285,13 @@ class MemorySystem : public CoherencePeer
     /** Look the line up in the write-back queue and the shared side
      *  (levels, then DRAM). Sets @p dirty when the returned line is the
      *  only copy (write-back queue hit or coherence dirty handoff) and
-     *  must stay dirty in the L1. */
+     *  must stay dirty in the L1. When @p bank_wait is non-null it
+     *  receives the cycles a banked DRAM transfer queued behind a busy
+     *  bank — time the caller folds into the fill's completion point
+     *  rather than the charged latency. */
     SentinelLine fetchBelowL1(Addr line_addr, Cycles &latency,
-                              bool &dirty, bool for_write);
+                              bool &dirty, bool for_write,
+                              Cycles *bank_wait = nullptr);
 
     /** Evict one L1 line (spill conversion + write-back queue). The
      *  conversion penalty is charged to @p latency when given. */
@@ -272,16 +316,72 @@ class MemorySystem : public CoherencePeer
     /** True when MSI probes must be exchanged for store hits. */
     bool coherentMulti() const { return shared_->coherent(); }
 
+    // Write-back queue index helpers (O(1) address lookup) -----------
+    /** Live queue entry for @p line_addr, or null. */
+    WbEntry *wbqFind(Addr line_addr);
+    const WbEntry *wbqFind(Addr line_addr) const;
+    /** Remove the live entry for @p line_addr (must exist): tombstone
+     *  it, unindex it, and trim dead entries off the front. */
+    void wbqErase(Addr line_addr);
+    /** Pop dead entries off the queue front so front() is live. */
+    void wbqTrimFront();
+
+    /**
+     * True when the non-blocking timing model is active: a per-core
+     * issue clock advances, misses place themselves on the MSHR/DRAM
+     * timeline, and (with mem.mshr_entries == 0) misses serialize —
+     * the blocking machine. False reproduces the legacy untimed paths
+     * byte-for-byte.
+     */
+    bool timingEnabled() const
+    {
+        return params_.mshrEntries > 0 || params_.dramBanks > 0;
+    }
+
+    /** A timed access issues: advance this core's clock one cycle. */
+    void
+    noteIssue()
+    {
+        if (timingEnabled())
+            ++now_;
+    }
+
+    /**
+     * An L1 hit on a line whose fill is still outstanding is a
+     * secondary miss: it coalesces into the MSHR entry and waits out
+     * the remainder of the fill (which already carried any sentinel
+     * fill-conversion charge — a conversion completing under the
+     * MSHR). Returns the extra latency; 0 without MSHRs or when the
+     * fill already completed (hit-under-miss to settled lines).
+     */
+    Cycles
+    coalesceWait(Addr line_addr)
+    {
+        if (!params_.mshrEntries)
+            return 0;
+        const Cycles rem = mshr_.remainder(line_addr, now_);
+        if (rem)
+            mshr_.noteCoalesced();
+        return rem;
+    }
+
     MemSysParams params_;
     ExceptionUnit &exceptions_;
     CacheArray<BitVectorLine> l1_;
-    /** Dirty write-back queue. Lookups are linear scans on the miss
-     *  path — fine for realistic victim-buffer depths (the CLI caps
-     *  the knob at 512); index it before allowing anything larger. */
+    /** Dirty write-back queue, indexed by wbqIndex_: wbqIndex_[addr]
+     *  is the entry's sequence number, wbq_[seq - wbqHeadSeq_] the
+     *  entry itself. wbqLive_ counts non-tombstoned entries (the
+     *  occupancy every threshold and stat uses). */
     std::deque<WbEntry> wbq_;
+    std::unordered_map<Addr, std::uint64_t> wbqIndex_;
+    std::uint64_t wbqHeadSeq_ = 0; //!< sequence number of wbq_.front()
+    std::size_t wbqLive_ = 0;
     std::unique_ptr<SharedMemory> ownedShared_; //!< standalone facade
     SharedMemory *shared_;
     unsigned coreId_ = 0;
+    MshrTable mshr_;
+    Cycles now_ = 0;          //!< per-core access issue clock (timed mode)
+    Cycles lastMissReady_ = 0; //!< blocking mode: previous miss completion
     MemSysStats stats_;
 };
 

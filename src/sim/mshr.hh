@@ -1,0 +1,128 @@
+/**
+ * @file mshr.hh
+ * Miss-status holding registers: the bookkeeping that makes the miss
+ * path non-blocking. The timing model is event-free — each access
+ * returns its own latency and the analytic core overlaps them — so an
+ * MSHR entry is simply (line address, absolute completion time) on the
+ * private side's access clock. The table answers three questions:
+ *
+ *  - is a fill for this line still outstanding (secondary miss →
+ *    coalesce: the access waits only for the remainder of the fill,
+ *    which already includes any sentinel fill-conversion charged when
+ *    the primary miss issued — a conversion completing under the
+ *    MSHR);
+ *  - are all entries live (structural stall: the new miss waits until
+ *    the earliest outstanding fill retires its entry);
+ *  - how full did the table get (peak occupancy).
+ *
+ * Entries whose completion time has passed are dead and are pruned
+ * lazily; a coherence invalidation cancels the entry outright (the
+ * line left the core, so nothing can coalesce with its fill anymore).
+ */
+
+#ifndef CALIFORMS_SIM_MSHR_HH
+#define CALIFORMS_SIM_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace califorms
+{
+
+/** MSHR behaviour counters (mshr.* stats). */
+struct MshrStats
+{
+    std::uint64_t allocations = 0;  //!< primary misses that took an entry
+    std::uint64_t coalesced = 0;    //!< secondary misses merged per line
+    std::uint64_t stallCycles = 0;  //!< waited with all entries live
+    std::uint64_t peakOccupancy = 0; //!< high-water mark of live entries
+};
+
+class MshrTable
+{
+  public:
+    explicit MshrTable(unsigned capacity) : capacity_(capacity) {}
+
+    unsigned capacity() const { return capacity_; }
+
+    /** Live entries at time @p now (dead ones pruned as a side
+     *  effect). */
+    std::size_t
+    occupancy(Cycles now)
+    {
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->second <= now)
+                it = pending_.erase(it);
+            else
+                ++it;
+        }
+        return pending_.size();
+    }
+
+    /** Remaining fill time of an outstanding entry for @p line_addr at
+     *  time @p now; 0 when none is outstanding. */
+    Cycles
+    remainder(Addr line_addr, Cycles now) const
+    {
+        const auto it = pending_.find(line_addr);
+        if (it == pending_.end() || it->second <= now)
+            return 0;
+        return it->second - now;
+    }
+
+    /** Completion time of the earliest live entry (call only when
+     *  occupancy(now) > 0). */
+    Cycles
+    earliestReady() const
+    {
+        Cycles earliest = 0;
+        bool first = true;
+        for (const auto &[addr, ready] : pending_) {
+            if (first || ready < earliest)
+                earliest = ready;
+            first = false;
+        }
+        return earliest;
+    }
+
+    /** Record a primary miss completing at @p ready_at. */
+    void
+    allocate(Addr line_addr, Cycles ready_at, Cycles now)
+    {
+        pending_[line_addr] = ready_at;
+        ++stats_.allocations;
+        const std::size_t live = occupancy(now);
+        if (live > stats_.peakOccupancy)
+            stats_.peakOccupancy = live;
+    }
+
+    /** The line left the core (coherence invalidation): cancel any
+     *  outstanding fill so nothing coalesces with it afterwards. */
+    void cancel(Addr line_addr) { pending_.erase(line_addr); }
+
+    void noteCoalesced() { ++stats_.coalesced; }
+    void noteStall(Cycles cycles) { stats_.stallCycles += cycles; }
+
+    const MshrStats &stats() const { return stats_; }
+
+    /** Reset the counters; the high-water mark restarts at the current
+     *  live occupancy (outstanding fills are already "in" the new
+     *  window), matching the write-back queue convention. */
+    void
+    clearStats(Cycles now)
+    {
+        stats_ = MshrStats{};
+        stats_.peakOccupancy = occupancy(now);
+    }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Addr, Cycles> pending_; //!< line -> completion
+    MshrStats stats_;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SIM_MSHR_HH

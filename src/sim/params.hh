@@ -137,6 +137,55 @@ struct MemSysParams
     /** Latency of an L1 miss served from the write-back queue. */
     Cycles wbHitLatency = 1;
 
+    /**
+     * Miss-status holding registers between the L1 and the shared
+     * side. 0 keeps the legacy blocking miss path byte-for-byte (and,
+     * when banked DRAM timing is enabled, serializes misses: each new
+     * miss waits for the previous one to complete — the blocking
+     * machine the MSHRs are measured against). N > 0 allows N misses
+     * in flight: an access that lands on a line whose fill is still
+     * outstanding coalesces into its MSHR (a secondary miss) and waits
+     * only for the remainder of that fill; a miss that finds all N
+     * entries live stalls until the earliest outstanding fill
+     * completes (structural stall, mshr.stallCycles). L1 hits to
+     * other lines proceed at the hit latency throughout
+     * (hit-under-miss).
+     */
+    unsigned mshrEntries = 0;
+
+    /**
+     * Banked DRAM timing. 0 banks keeps the flat dramLatency model
+     * byte-for-byte. With N banks, line_addr / dramRowBytes selects
+     * the bank round-robin (consecutive rows interleave across banks)
+     * and each bank keeps one open row: an access to the open row pays
+     * dramRowHitLatency, to a bank with no open row
+     * dramRowMissLatency, and to a bank whose open row differs
+     * dramRowConflictLatency (precharge + activate). Banks are busy
+     * for the service time, so same-bank traffic queues
+     * (dram.bankConflictCycles) while different banks overlap —
+     * including the dirty write-backs and coherence recalls that
+     * share the banks with demand fetches. The queue wait extends the
+     * fill's completion time (backing up the MSHR table or the
+     * blocking miss path) rather than the charged access latency, so
+     * a saturated bank throttles throughput without being billed once
+     * per queued access.
+     */
+    unsigned dramBanks = 0;
+
+    /** DRAM row-buffer (page) size per bank in bytes. */
+    std::size_t dramRowBytes = 8 * 1024;
+
+    /** Latency of a DRAM access that hits the open row. */
+    Cycles dramRowHitLatency = 80;
+
+    /** Latency of a DRAM access to a bank with no open row; defaults
+     *  to the flat dramLatency so enabling banks alone stays
+     *  comparable. */
+    Cycles dramRowMissLatency = 120;
+
+    /** Latency when another row is open (precharge + activate). */
+    Cycles dramRowConflictLatency = 155;
+
     /** L1 metadata organization (Appendix A variants). */
     L1Format l1Format = L1Format::BitVector8B;
 

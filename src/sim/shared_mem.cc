@@ -7,7 +7,8 @@
 namespace califorms
 {
 
-SharedMemory::SharedMemory(const MemSysParams &params) : params_(params)
+SharedMemory::SharedMemory(const MemSysParams &params)
+    : params_(params), dram_(params)
 {
     if (params.levels < 1 || params.levels > 3)
         throw std::invalid_argument("SharedMemory: levels must be 1..3");
@@ -98,9 +99,10 @@ SharedMemory::probeHolders(Addr line_addr, unsigned core, bool for_write,
 
 SharedMemory::FetchResult
 SharedMemory::fetchLine(Addr line_addr, Cycles &latency, unsigned core,
-                        bool for_write)
+                        bool for_write, Cycles issue_time)
 {
     FetchResult out;
+    const Cycles entry_latency = latency;
 
     if (coherent()) {
         SentinelLine recalled;
@@ -132,7 +134,18 @@ SharedMemory::fetchLine(Addr line_addr, Cycles &latency, unsigned core,
         }
     }
     if (hit == below_.size()) {
-        latency += params_.dramLatency;
+        if (dram_.enabled()) {
+            // Place the access on the bank timeline at the requester's
+            // clock plus whatever the probe/level walk already cost.
+            // Only the service is charged; the queue wait rides in the
+            // fill completion time (FetchResult::bankQueueWait).
+            const DramTiming::ServiceTime t = dram_.access(
+                line_addr, issue_time + (latency - entry_latency));
+            latency += t.service;
+            out.bankQueueWait = t.queueWait;
+        } else {
+            latency += params_.dramLatency;
+        }
         ++dramAccesses_;
         out.line = memory_.readLine(line_addr);
         // The long DRAM service is the requester's write-back drain
@@ -189,6 +202,8 @@ SharedMemory::writeBack(Addr line_addr, const SentinelLine &line)
 {
     if (below_.empty()) {
         ++dramAccesses_;
+        if (dram_.enabled())
+            dram_.occupy(line_addr);
         memory_.writeLine(line_addr, line);
         return;
     }
@@ -210,6 +225,8 @@ SharedMemory::writeBackLevel(std::size_t level,
             writeBackLevel(level + 1, next);
     } else {
         ++dramAccesses_;
+        if (dram_.enabled())
+            dram_.occupy(ev.lineAddr);
         memory_.writeLine(ev.lineAddr, ev.line);
     }
 }
@@ -253,6 +270,10 @@ SharedMemory::prefetchInto(Addr line_addr)
     }
     if (found == below_.size()) {
         ++dramAccesses_;
+        // Prefetches hide their latency but still occupy a bank (and
+        // can move the open row under the demand stream).
+        if (dram_.enabled())
+            dram_.occupy(line_addr);
         pf = memory_.readLine(line_addr);
     }
     for (std::size_t j = found; j-- > 0;) {
@@ -304,7 +325,7 @@ SharedMemory::functionalRead(Addr line_addr) const
 {
     if (const SentinelLine *p = peekLevels(line_addr))
         return *p;
-    return memory_.readLine(line_addr);
+    return memory_.peekLine(line_addr);
 }
 
 void
@@ -330,6 +351,10 @@ SharedMemory::mergeStatsInto(MemSysStats &out) const
     out.dirtyRecalls += dirtyRecalls_;
     out.convUnderInval += convUnderInval_;
     out.coherenceConvCycles += coherenceConvCycles_;
+    out.dramRowHits += dram_.stats().rowHits;
+    out.dramRowMisses += dram_.stats().rowMisses;
+    out.dramRowConflicts += dram_.stats().rowConflicts;
+    out.dramBankConflictCycles += dram_.stats().bankConflictCycles;
 }
 
 void
@@ -342,6 +367,9 @@ SharedMemory::clearStats()
     dirtyRecalls_ = 0;
     convUnderInval_ = 0;
     coherenceConvCycles_ = 0;
+    // Bank busy times and open rows are machine state, not statistics;
+    // only the counters reset at a window boundary.
+    dram_.clearStats();
 }
 
 } // namespace califorms

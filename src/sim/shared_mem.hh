@@ -45,6 +45,7 @@
 
 #include "core/line.hh"
 #include "sim/cache_array.hh"
+#include "sim/dram_timing.hh"
 #include "sim/main_memory.hh"
 #include "sim/params.hh"
 
@@ -100,16 +101,25 @@ class SharedMemory
         /** The line is a dirty recall handed directly to the requester:
          *  it is the only copy and must stay dirty in the new L1. */
         bool dirtyHandoff = false;
+        /** Cycles the DRAM transfer queued behind a busy bank. Not
+         *  part of @p latency (the window overlaps queueing); the
+         *  requester adds it to the fill's completion time so bank
+         *  pressure backs up the MSHR table instead. */
+        Cycles bankQueueWait = 0;
     };
 
     /**
      * Fetch a line for core @p core: coherence probes first, then the
      * shared levels, then DRAM (filling the levels on the way up, and
      * opening the requester's write-back drain window on a DRAM
-     * service). Latency accumulates into @p latency.
+     * service). Latency accumulates into @p latency. @p issue_time is
+     * the requester's absolute clock when the fetch entered the shared
+     * side; banked DRAM timing (mem.dram_banks > 0) uses it to place
+     * the access on the bank timeline. The flat model ignores it, so
+     * untimed callers can leave it 0.
      */
     FetchResult fetchLine(Addr line_addr, Cycles &latency, unsigned core,
-                          bool for_write);
+                          bool for_write, Cycles issue_time = 0);
 
     /**
      * Make @p core the exclusive modified owner of a line it already
@@ -158,6 +168,10 @@ class SharedMemory
     const MainMemory &memory() const { return memory_; }
     const MemSysParams &params() const { return params_; }
 
+    /** The banked DRAM timing model (enabled() false on the flat
+     *  default machine). */
+    const DramTiming &dram() const { return dram_; }
+
     /** Number of enabled shared levels (0, 1 or 2). */
     std::size_t levelCount() const { return below_.size(); }
 
@@ -203,6 +217,7 @@ class SharedMemory
     MemSysParams params_;
     std::vector<Level> below_; //!< enabled shared levels, nearest first
     MainMemory memory_;
+    DramTiming dram_;
     std::vector<CoherencePeer *> peers_;
     std::unordered_map<Addr, DirEntry> directory_;
 

@@ -87,6 +87,41 @@ coherenceStatEntries(const MemSysStats &mem)
     };
 }
 
+std::vector<StatEntry>
+memlpStatEntries(const MemSysStats &mem, const MemSysParams &params)
+{
+    std::vector<StatEntry> out;
+    if (params.mshrEntries) {
+        out.push_back({"mshr.allocations",
+                       static_cast<double>(mem.mshrAllocations),
+                       "primary misses that took an MSHR entry"});
+        out.push_back({"mshr.coalesced",
+                       static_cast<double>(mem.mshrCoalesced),
+                       "secondary misses merged into a live entry"});
+        out.push_back({"mshr.stallCycles",
+                       static_cast<double>(mem.mshrStallCycles),
+                       "cycles stalled with every MSHR live"});
+        out.push_back({"mshr.peakOccupancy",
+                       static_cast<double>(mem.mshrPeakOccupancy),
+                       "MSHR table high-water mark (max over cores)"});
+    }
+    if (params.dramBanks) {
+        out.push_back({"dram.rowHits",
+                       static_cast<double>(mem.dramRowHits),
+                       "DRAM accesses that hit the open row"});
+        out.push_back({"dram.rowMisses",
+                       static_cast<double>(mem.dramRowMisses),
+                       "DRAM accesses to a bank with no open row"});
+        out.push_back({"dram.rowConflicts",
+                       static_cast<double>(mem.dramRowConflicts),
+                       "DRAM accesses that closed another row"});
+        out.push_back({"dram.bankConflictCycles",
+                       static_cast<double>(mem.dramBankConflictCycles),
+                       "fill cycles queued behind busy banks"});
+    }
+    return out;
+}
+
 namespace
 {
 
@@ -125,6 +160,11 @@ dumpStats(const Machine &machine)
         for (const StatEntry &e :
              coherenceStatEntries(machine.memStats()))
             line(os, e.name, e.value, e.desc);
+    // mshr.* / dram row-buffer stats likewise only exist on machines
+    // configured with the non-blocking timing model.
+    for (const StatEntry &e :
+         memlpStatEntries(machine.memStats(), machine.params().mem))
+        line(os, e.name, e.value, e.desc);
     line(os, "exceptions.delivered",
          static_cast<double>(machine.exceptions().deliveredCount()),
          "privileged exceptions delivered");

@@ -51,6 +51,14 @@ std::vector<StatEntry> memStatEntries(const MemSysStats &mem,
  *  machines. */
 std::vector<StatEntry> coherenceStatEntries(const MemSysStats &mem);
 
+/** The mshr.* and dram row-buffer counters. Same convention as
+ *  coherenceStatEntries: emitters append these only when the
+ *  non-blocking timing model is configured (mem.mshr_entries > 0 or
+ *  mem.dram_banks > 0), so every flat-latency emission stays
+ *  byte-identical. */
+std::vector<StatEntry> memlpStatEntries(const MemSysStats &mem,
+                                        const MemSysParams &params);
+
 /** Render all machine statistics in a flat, diffable format. */
 std::string dumpStats(const Machine &machine);
 

@@ -62,6 +62,14 @@ expectStatsEq(const MemSysStats &a, const MemSysStats &b)
     EXPECT_EQ(a.dirtyRecalls, b.dirtyRecalls);
     EXPECT_EQ(a.convUnderInval, b.convUnderInval);
     EXPECT_EQ(a.coherenceConvCycles, b.coherenceConvCycles);
+    EXPECT_EQ(a.mshrAllocations, b.mshrAllocations);
+    EXPECT_EQ(a.mshrCoalesced, b.mshrCoalesced);
+    EXPECT_EQ(a.mshrStallCycles, b.mshrStallCycles);
+    EXPECT_EQ(a.mshrPeakOccupancy, b.mshrPeakOccupancy);
+    EXPECT_EQ(a.dramRowHits, b.dramRowHits);
+    EXPECT_EQ(a.dramRowMisses, b.dramRowMisses);
+    EXPECT_EQ(a.dramRowConflicts, b.dramRowConflicts);
+    EXPECT_EQ(a.dramBankConflictCycles, b.dramBankConflictCycles);
 }
 
 const SpecBenchmark &

@@ -68,6 +68,27 @@ report(const RunResult &r, const RunConfig &config)
                 static_cast<unsigned long long>(r.heap.allocs),
                 static_cast<unsigned long long>(r.heap.frees),
                 r.exceptionsDelivered, r.exceptionsSuppressed);
+    // Non-blocking timing lines only when the model is configured, so
+    // the default (flat-latency) output stays byte-identical.
+    if (config.machine.mem.mshrEntries > 0)
+        std::printf("  mshr: allocations=%llu coalesced=%llu "
+                    "stallCycles=%llu peakOccupancy=%llu\n",
+                    static_cast<unsigned long long>(
+                        r.mem.mshrAllocations),
+                    static_cast<unsigned long long>(r.mem.mshrCoalesced),
+                    static_cast<unsigned long long>(
+                        r.mem.mshrStallCycles),
+                    static_cast<unsigned long long>(
+                        r.mem.mshrPeakOccupancy));
+    if (config.machine.mem.dramBanks > 0)
+        std::printf("  dram: rowHits=%llu rowMisses=%llu "
+                    "rowConflicts=%llu bankConflictCycles=%llu\n",
+                    static_cast<unsigned long long>(r.mem.dramRowHits),
+                    static_cast<unsigned long long>(r.mem.dramRowMisses),
+                    static_cast<unsigned long long>(
+                        r.mem.dramRowConflicts),
+                    static_cast<unsigned long long>(
+                        r.mem.dramBankConflictCycles));
     if (r.cores.empty())
         return;
     std::printf("  coherence: invalidations=%llu dirtyRecalls=%llu "

@@ -96,58 +96,72 @@ enumKnob(const char *key, std::vector<std::string> choices,
     return s;
 }
 
-std::string
-l1FormatName(L1Format format)
+/** One registration path for every enum knob: the EnumTable is the
+ *  single source of the choices vocabulary, the renderer, and the
+ *  parser (which rejects unknown names with the candidate list). @p
+ *  table must have static lifetime — the lambdas keep a reference. */
+template <typename E, typename Get, typename Set>
+ParamSpec
+enumSpec(const char *key, const EnumTable<E> &table, const char *flag,
+         const char *doc, Get get, Set set)
 {
-    switch (format) {
-    case L1Format::BitVector8B:
-        return "bitvector";
-    case L1Format::Cal4B:
-        return "cal4b";
-    case L1Format::Cal1B:
-        return "cal1b";
-    }
-    return "?";
+    return enumKnob(
+        key, table.names(), flag, doc,
+        [&table, get](const RunConfig &rc) {
+            return table.name(get(rc));
+        },
+        [&table, set](RunConfig &rc, const std::string &name) {
+            set(rc, table.value(name));
+        });
 }
 
-L1Format
-l1FormatFromName(const std::string &name)
+const EnumTable<L1Format> &
+l1FormatTable()
 {
-    if (name == "bitvector")
-        return L1Format::BitVector8B;
-    if (name == "cal4b")
-        return L1Format::Cal4B;
-    if (name == "cal1b")
-        return L1Format::Cal1B;
-    // Only reachable if the enumKnob choices list drifts from this
-    // table; fail loudly instead of silently running bitvector.
-    throw std::invalid_argument("unknown L1 format name '" + name +
-                                "'");
+    static const EnumTable<L1Format> table(
+        "L1 format", {{"bitvector", L1Format::BitVector8B},
+                      {"cal4b", L1Format::Cal4B},
+                      {"cal1b", L1Format::Cal1B}});
+    return table;
 }
 
-std::string
-coherenceName(CoherenceKind kind)
+const EnumTable<CoherenceKind> &
+coherenceTable()
 {
-    switch (kind) {
-    case CoherenceKind::None:
-        return "none";
-    case CoherenceKind::Msi:
-        return "msi";
-    }
-    return "?";
+    static const EnumTable<CoherenceKind> table(
+        "coherence kind",
+        {{"none", CoherenceKind::None}, {"msi", CoherenceKind::Msi}});
+    return table;
 }
 
-CoherenceKind
-coherenceFromName(const std::string &name)
+/** Names derive from replPolicyName() so the config vocabulary cannot
+ *  drift from the sim-side table. The machine-wide knob excludes
+ *  "inherit"; the per-level overrides include it. */
+const EnumTable<ReplPolicy> &
+replPolicyTable()
 {
-    if (name == "none")
-        return CoherenceKind::None;
-    if (name == "msi")
-        return CoherenceKind::Msi;
-    // Only reachable if the enumKnob choices list drifts from this
-    // table; fail loudly instead of silently running uncoherent.
-    throw std::invalid_argument("unknown coherence kind '" + name +
-                                "'");
+    static const EnumTable<ReplPolicy> table(
+        "replacement policy",
+        {{replPolicyName(ReplPolicy::Lru), ReplPolicy::Lru},
+         {replPolicyName(ReplPolicy::Random), ReplPolicy::Random},
+         {replPolicyName(ReplPolicy::Dip), ReplPolicy::Dip},
+         {replPolicyName(ReplPolicy::Drrip), ReplPolicy::Drrip},
+         {replPolicyName(ReplPolicy::Ship), ReplPolicy::Ship}});
+    return table;
+}
+
+const EnumTable<ReplPolicy> &
+replPolicyOverrideTable()
+{
+    static const EnumTable<ReplPolicy> table(
+        "replacement policy",
+        {{replPolicyName(ReplPolicy::Inherit), ReplPolicy::Inherit},
+         {replPolicyName(ReplPolicy::Lru), ReplPolicy::Lru},
+         {replPolicyName(ReplPolicy::Random), ReplPolicy::Random},
+         {replPolicyName(ReplPolicy::Dip), ReplPolicy::Dip},
+         {replPolicyName(ReplPolicy::Drrip), ReplPolicy::Drrip},
+         {replPolicyName(ReplPolicy::Ship), ReplPolicy::Ship}});
+    return table;
 }
 
 } // namespace
@@ -229,14 +243,12 @@ ParamRegistry::ParamRegistry()
         [](RunConfig &rc, std::uint64_t v) {
             rc.machine.mem.l1Latency = static_cast<Cycles>(v);
         }));
-    specs_.push_back(enumKnob(
-        "mem.l1_format", {"bitvector", "cal4b", "cal1b"}, "--l1",
+    specs_.push_back(enumSpec(
+        "mem.l1_format", l1FormatTable(), "--l1",
         "L1 metadata organization (Table 7 / Appendix A variants)",
-        [](const RunConfig &rc) {
-            return l1FormatName(rc.machine.mem.l1Format);
-        },
-        [](RunConfig &rc, const std::string &name) {
-            rc.machine.mem.l1Format = l1FormatFromName(name);
+        [](const RunConfig &rc) { return rc.machine.mem.l1Format; },
+        [](RunConfig &rc, L1Format v) {
+            rc.machine.mem.l1Format = v;
         }));
     specs_.push_back(uintKnob(
         "mem.l2_size_kb", 0, 1 << 20, "--l2-kb",
@@ -395,16 +407,43 @@ ParamRegistry::ParamRegistry()
         [](RunConfig &rc, bool v) {
             rc.machine.mem.nextLinePrefetch = v;
         }));
-    specs_.push_back(enumKnob(
-        "mem.coherence", {"none", "msi"}, "",
+    specs_.push_back(enumSpec(
+        "mem.coherence", coherenceTable(), "",
         "inter-core coherence below the private L1s: none = legacy "
         "single-requester semantics, msi = invalidation-based MSI "
         "directory (only meaningful when core.count > 1)",
+        [](const RunConfig &rc) { return rc.machine.mem.coherence; },
+        [](RunConfig &rc, CoherenceKind v) {
+            rc.machine.mem.coherence = v;
+        }));
+    specs_.push_back(enumSpec(
+        "mem.repl_policy", replPolicyTable(), "",
+        "victim-selection policy of every cache level (sim/repl/): "
+        "lru = historical true-LRU machine, random = seeded "
+        "deterministic, dip = LIP vs LRU set dueling, drrip = "
+        "SRRIP vs BRRIP set dueling, ship = SHiP-lite signature "
+        "predictor",
+        [](const RunConfig &rc) { return rc.machine.mem.replPolicy; },
+        [](RunConfig &rc, ReplPolicy v) {
+            rc.machine.mem.replPolicy = v;
+        }));
+    specs_.push_back(enumSpec(
+        "mem.l2_repl_policy", replPolicyOverrideTable(), "",
+        "L2 override of mem.repl_policy (inherit = follow it)",
         [](const RunConfig &rc) {
-            return coherenceName(rc.machine.mem.coherence);
+            return rc.machine.mem.l2ReplPolicy;
         },
-        [](RunConfig &rc, const std::string &name) {
-            rc.machine.mem.coherence = coherenceFromName(name);
+        [](RunConfig &rc, ReplPolicy v) {
+            rc.machine.mem.l2ReplPolicy = v;
+        }));
+    specs_.push_back(enumSpec(
+        "mem.llc_repl_policy", replPolicyOverrideTable(), "",
+        "LLC override of mem.repl_policy (inherit = follow it)",
+        [](const RunConfig &rc) {
+            return rc.machine.mem.llcReplPolicy;
+        },
+        [](RunConfig &rc, ReplPolicy v) {
+            rc.machine.mem.llcReplPolicy = v;
         }));
 
     // ----------------------------------------------------------------
@@ -559,8 +598,9 @@ ParamRegistry::ParamRegistry()
 
     // ----------------------------------------------------------------
     // workload.* — synthetic workload generators (SynthParams; only
-    // the synthSuite() benchmarks — zipf, stream, stackchurn, ring,
-    // attackmix — consume these).
+    // the synthetic benchmarks — the classic synthSuite() five (zipf,
+    // stream, stackchurn, ring, attackmix) and the adversarialSuite()
+    // replacement stressors (thrash, scan, mixed) — consume these).
     // ----------------------------------------------------------------
     specs_.push_back(uintKnob(
         "workload.ops", 1, 1u << 30, "",
@@ -646,6 +686,36 @@ ParamRegistry::ParamRegistry()
         [](const RunConfig &rc) { return rc.synth.protectLines; },
         [](RunConfig &rc, std::uint64_t v) {
             rc.synth.protectLines = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.thrash_kb", 64, 1u << 20, "",
+        "thrash: cyclic working set in KB (default just over the 2MB "
+        "LLC, the LRU worst case)",
+        [](const RunConfig &rc) { return rc.synth.thrashKb; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.thrashKb = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.hot_kb", 4, 1u << 20, "",
+        "scan/mixed: reused hot working set in KB",
+        [](const RunConfig &rc) { return rc.synth.hotKb; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.hotKb = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.scan_kb", 4, 1u << 20, "",
+        "scan/mixed: one-shot streaming episode size in KB (fresh "
+        "lines every episode, never revisited)",
+        [](const RunConfig &rc) { return rc.synth.scanKb; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.scanKb = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "workload.scan_period", 1, 1u << 20, "",
+        "scan/mixed: hot-set operations between scan episodes",
+        [](const RunConfig &rc) { return rc.synth.scanPeriod; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.synth.scanPeriod = static_cast<std::size_t>(v);
         }));
 
     // Defaults are captured from a default RunConfig through each

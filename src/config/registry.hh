@@ -25,9 +25,11 @@
 #define CALIFORMS_CONFIG_REGISTRY_HH
 
 #include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
 #include <functional>
 #include <optional>
-#include <string>
 #include <variant>
 #include <vector>
 
@@ -35,6 +37,78 @@
 
 namespace califorms::config
 {
+
+/**
+ * Name <-> value table of a config-surface enum. Every enum knob
+ * (mem.l1_format, mem.coherence, mem.repl_policy, ...) registers
+ * through one of these instead of a hand-rolled name()/fromName()
+ * pair, so the choices list shown in the schema, the parser, and the
+ * renderer cannot drift from each other: they are all views of the
+ * same entries. value() rejects unknown names with the full candidate
+ * list in the error.
+ */
+template <typename E>
+class EnumTable
+{
+  public:
+    struct Entry
+    {
+        const char *name;
+        E value;
+    };
+
+    EnumTable(const char *what, std::initializer_list<Entry> entries)
+        : what_(what), entries_(entries)
+    {
+    }
+
+    /** Config-surface name of @p value ("?" only if the table is
+     *  incomplete, which the registry round-trip tests catch). */
+    const char *
+    name(E value) const
+    {
+        for (const Entry &e : entries_)
+            if (e.value == value)
+                return e.name;
+        return "?";
+    }
+
+    /** Parse @p text; throws with the candidate list when unknown. */
+    E
+    value(const std::string &text) const
+    {
+        for (const Entry &e : entries_)
+            if (text == e.name)
+                return e.value;
+        throw std::invalid_argument("unknown " + std::string(what_) +
+                                    " '" + text + "' (expected one of " +
+                                    choiceList() + ")");
+    }
+
+    /** The choices vocabulary, in table order (feeds ParamSpec). */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        for (const Entry &e : entries_)
+            out.emplace_back(e.name);
+        return out;
+    }
+
+    /** "{a, b, c}" for diagnostics. */
+    std::string
+    choiceList() const
+    {
+        std::string out = "{";
+        for (std::size_t i = 0; i < entries_.size(); ++i)
+            out += (i ? ", " : "") + std::string(entries_[i].name);
+        return out + "}";
+    }
+
+  private:
+    const char *what_;
+    std::vector<Entry> entries_;
+};
 
 /** The value space of a registered parameter. */
 enum class ParamType

@@ -141,6 +141,19 @@ runJson(std::ostringstream &os, const RunUnit &unit,
         }
         os << "}";
     }
+    // Runs with a non-default replacement policy on some level carry
+    // the per-level califormed-victim counters; default-LRU runs omit
+    // the block under the same byte-identity convention.
+    if (schema == ReportSchema::V2 && replPolicyActive(unit_mem)) {
+        os << ",\n     \"repl\": {";
+        first = true;
+        for (const StatEntry &e : replStatEntries(r.mem, unit_mem)) {
+            os << (first ? "" : ", ") << jsonString(e.name) << ": "
+               << jsonNumber(e.value);
+            first = false;
+        }
+        os << "}";
+    }
     os << ",\n     \"heap\": {\"allocs\": " << u64(r.heap.allocs)
        << ", \"frees\": " << u64(r.heap.frees)
        << ", \"reuses\": " << u64(r.heap.reuses)

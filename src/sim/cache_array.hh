@@ -1,10 +1,21 @@
 /**
  * @file cache_array.hh
- * A generic set-associative cache array with true-LRU replacement,
- * parameterized on the stored line payload. The L1 data cache stores
- * BitVectorLine payloads (califorms-bitvector); L2 and L3 store
- * SentinelLine payloads (califorms-sentinel). Timing lives in the
- * hierarchy (memsys.hh); this class is purely the tag/data array.
+ * A generic set-associative cache array parameterized on the stored
+ * line payload. The L1 data cache stores BitVectorLine payloads
+ * (califorms-bitvector); L2 and L3 store SentinelLine payloads
+ * (califorms-sentinel). Timing lives in the hierarchy (memsys.hh);
+ * this class is purely the tag/data array.
+ *
+ * Victim selection is delegated to a pluggable ReplacementPolicy
+ * (sim/repl/policy.hh): the array owns tags, payloads, and dirty bits;
+ * the policy owns all recency/prediction state and is driven through
+ * onHit / onMiss / onInsert / victimWay / onInvalidate hooks. The
+ * default Lru policy reproduces the historical hardwired true-LRU
+ * byte for byte. Hooks carry LineMeta including whether the payload
+ * is califormed, and evictions of califormed lines are counted in
+ * CacheStats::cformEvictions so the policy laboratory can measure
+ * whether scan-resistant policies preferentially evict
+ * sentinel-carrying lines.
  */
 
 #ifndef CALIFORMS_SIM_CACHE_ARRAY_HH
@@ -12,8 +23,10 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "sim/repl/policy.hh"
 #include "util/types.hh"
 
 namespace califorms
@@ -26,6 +39,8 @@ struct CacheStats
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t dirtyEvictions = 0;
+    /** Evictions whose victim payload carried blacklisted bytes. */
+    std::uint64_t cformEvictions = 0;
 
     double
     missRate() const
@@ -36,6 +51,22 @@ struct CacheStats
                      : 0.0;
     }
 };
+
+/** Whether @p line carries blacklisted bytes, for any payload shape:
+ *  BitVectorLine exposes califormed() (mask != 0), SentinelLine a bool
+ *  member; payloads with neither (the unit tests' int lines) are never
+ *  califormed. */
+template <typename LineT>
+inline bool
+lineCaliformed(const LineT &line)
+{
+    if constexpr (requires { static_cast<bool>(line.califormed()); })
+        return static_cast<bool>(line.califormed());
+    else if constexpr (requires { static_cast<bool>(line.califormed); })
+        return static_cast<bool>(line.califormed);
+    else
+        return false;
+}
 
 template <typename LineT>
 class CacheArray
@@ -50,7 +81,8 @@ class CacheArray
         LineT line{};
     };
 
-    CacheArray(std::size_t size_bytes, unsigned ways)
+    CacheArray(std::size_t size_bytes, unsigned ways,
+               ReplPolicy policy = ReplPolicy::Lru)
         : ways_(ways),
           sets_(ways ? size_bytes / (lineBytes * ways) : 0)
     {
@@ -59,25 +91,30 @@ class CacheArray
             throw std::invalid_argument("CacheArray: bad geometry");
         }
         entries_.resize(sets_ * ways_);
+        repl_ = repl::makePolicy(policy, sets_, ways_);
+        cands_.resize(ways_);
     }
 
-    /** Look up @p line_addr; on a hit return the payload (LRU updated)
-     *  and optionally mark it dirty. Null on miss. Counts stats. */
+    /** Look up @p line_addr; on a hit return the payload (policy
+     *  notified) and optionally mark it dirty. Null on miss. Counts
+     *  stats. */
     LineT *
     access(Addr line_addr, bool make_dirty)
     {
         Entry *e = lookup(line_addr);
         if (!e) {
             ++stats_.misses;
+            repl_->onMiss(setIndex(line_addr));
             return nullptr;
         }
         ++stats_.hits;
-        e->lru = ++clock_;
         e->dirty = e->dirty || make_dirty;
+        repl_->onHit(setIndex(line_addr), wayOf(e), metaOf(*e));
         return &e->line;
     }
 
-    /** Look up without touching stats or LRU (functional peeks). */
+    /** Look up without touching stats or policy state (functional
+     *  peeks). */
     LineT *
     peek(Addr line_addr)
     {
@@ -88,37 +125,49 @@ class CacheArray
     const LineT *
     peek(Addr line_addr) const
     {
-        return const_cast<CacheArray *>(this)->peek(line_addr);
+        const Entry *e = lookup(line_addr);
+        return e ? &e->line : nullptr;
     }
 
-    /** Insert a line, evicting the LRU way if the set is full. An
-     *  existing copy of the same line is overwritten in place with the
-     *  dirty bits merged. */
+    /** Insert a line, evicting the policy's victim if the set is full.
+     *  An existing copy of the same line is overwritten in place with
+     *  the dirty bits merged; the overwrite counts as a reference
+     *  (onHit), so an upgrade-write refreshes recency under every
+     *  policy. */
     Evicted
     insert(Addr line_addr, LineT line, bool dirty)
     {
         const std::size_t set = setIndex(line_addr);
         Entry *match = nullptr;
         Entry *invalid = nullptr;
-        Entry *lru = nullptr;
         for (unsigned w = 0; w < ways_; ++w) {
             Entry &e = entries_[set * ways_ + w];
             if (e.valid && e.lineAddr == line_addr) {
                 match = &e;
                 break;
             }
-            if (!e.valid) {
-                if (!invalid)
-                    invalid = &e;
-            } else if (!lru || e.lru < lru->lru) {
-                lru = &e;
-            }
+            if (!e.valid && !invalid)
+                invalid = &e;
         }
 
         Evicted out;
-        Entry *slot = match ? match : (invalid ? invalid : lru);
-        const bool in_place = match != nullptr;
-        if (!in_place && slot->valid) {
+        if (match) {
+            match->dirty = match->dirty || dirty;
+            match->line = std::move(line);
+            repl_->onHit(set, wayOf(match), metaOf(*match));
+            return out;
+        }
+
+        Entry *slot = invalid;
+        if (!slot) {
+            for (unsigned w = 0; w < ways_; ++w)
+                cands_[w] = metaOf(entries_[set * ways_ + w]);
+            const unsigned victim =
+                repl_->victimWay(set, cands_.data(), ways_);
+            if (victim >= ways_)
+                throw std::logic_error(
+                    "ReplacementPolicy: victim way out of range");
+            slot = &entries_[set * ways_ + victim];
             out.valid = true;
             out.dirty = slot->dirty;
             out.lineAddr = slot->lineAddr;
@@ -126,16 +175,18 @@ class CacheArray
             ++stats_.evictions;
             if (slot->dirty)
                 ++stats_.dirtyEvictions;
+            if (lineCaliformed(out.line))
+                ++stats_.cformEvictions;
         }
         slot->valid = true;
-        slot->dirty = in_place ? (slot->dirty || dirty) : dirty;
+        slot->dirty = dirty;
         slot->lineAddr = line_addr;
         slot->line = std::move(line);
-        slot->lru = ++clock_;
+        repl_->onInsert(set, wayOf(slot), metaOf(*slot));
         return out;
     }
 
-    /** Set the dirty bit of a resident line (no stats/LRU effect). */
+    /** Set the dirty bit of a resident line (no stats/policy effect). */
     void
     markDirty(Addr line_addr)
     {
@@ -156,8 +207,7 @@ class CacheArray
     bool
     dirtyAt(Addr line_addr) const
     {
-        const Entry *e =
-            const_cast<CacheArray *>(this)->lookup(line_addr);
+        const Entry *e = lookup(line_addr);
         return e && e->dirty;
     }
 
@@ -172,6 +222,7 @@ class CacheArray
         dirty_out = e->dirty;
         e->valid = false;
         e->dirty = false;
+        repl_->onInvalidate(setIndex(line_addr), wayOf(e));
         return true;
     }
 
@@ -189,7 +240,11 @@ class CacheArray
     void
     reset()
     {
-        for (auto &e : entries_) {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            Entry &e = entries_[i];
+            if (e.valid)
+                repl_->onInvalidate(i / ways_,
+                                    static_cast<unsigned>(i % ways_));
             e.valid = false;
             e.dirty = false;
         }
@@ -206,7 +261,6 @@ class CacheArray
         bool valid = false;
         bool dirty = false;
         Addr lineAddr = 0;
-        std::uint64_t lru = 0;
         LineT line{};
     };
 
@@ -216,22 +270,48 @@ class CacheArray
         return static_cast<std::size_t>((line_addr >> lineShift) % sets_);
     }
 
-    Entry *
-    lookup(Addr line_addr)
+    /** Shared body of the const and non-const lookup overloads: the
+     *  constness of @p self propagates to the returned Entry pointer,
+     *  so neither caller needs a const_cast. */
+    template <typename Self>
+    static auto
+    lookupImpl(Self &self, Addr line_addr) -> decltype(self.entries_.data())
     {
-        const std::size_t set = setIndex(line_addr);
-        for (unsigned w = 0; w < ways_; ++w) {
-            Entry &e = entries_[set * ways_ + w];
+        const std::size_t set = self.setIndex(line_addr);
+        for (unsigned w = 0; w < self.ways_; ++w) {
+            auto &e = self.entries_[set * self.ways_ + w];
             if (e.valid && e.lineAddr == line_addr)
                 return &e;
         }
         return nullptr;
     }
 
+    Entry *lookup(Addr line_addr) { return lookupImpl(*this, line_addr); }
+
+    const Entry *
+    lookup(Addr line_addr) const
+    {
+        return lookupImpl(*this, line_addr);
+    }
+
+    unsigned
+    wayOf(const Entry *e) const
+    {
+        return static_cast<unsigned>(
+            static_cast<std::size_t>(e - entries_.data()) % ways_);
+    }
+
+    repl::LineMeta
+    metaOf(const Entry &e) const
+    {
+        return {e.lineAddr, e.dirty, lineCaliformed(e.line)};
+    }
+
     unsigned ways_;
     std::size_t sets_;
-    std::uint64_t clock_ = 0;
     std::vector<Entry> entries_;
+    std::unique_ptr<repl::ReplacementPolicy> repl_;
+    std::vector<repl::LineMeta> cands_; //!< victimWay scratch
     CacheStats stats_;
 };
 

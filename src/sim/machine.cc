@@ -172,6 +172,7 @@ Machine::memStats() const
         out.l1.misses += p.l1.misses;
         out.l1.evictions += p.l1.evictions;
         out.l1.dirtyEvictions += p.l1.dirtyEvictions;
+        out.l1.cformEvictions += p.l1.cformEvictions;
         out.spills += p.spills;
         out.fills += p.fills;
         out.cformOps += p.cformOps;

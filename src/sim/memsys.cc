@@ -12,7 +12,7 @@ namespace califorms
 MemorySystem::MemorySystem(const MemSysParams &params,
                            ExceptionUnit &exceptions)
     : params_(params), exceptions_(exceptions),
-      l1_(params.l1Size, params.l1Ways),
+      l1_(params.l1Size, params.l1Ways, resolvedReplPolicy(params, 1)),
       ownedShared_(std::make_unique<SharedMemory>(params)),
       shared_(ownedShared_.get()), mshr_(params.mshrEntries)
 {
@@ -22,7 +22,7 @@ MemorySystem::MemorySystem(const MemSysParams &params,
 MemorySystem::MemorySystem(const MemSysParams &params,
                            ExceptionUnit &exceptions, SharedMemory &shared)
     : params_(params), exceptions_(exceptions),
-      l1_(params.l1Size, params.l1Ways), shared_(&shared),
+      l1_(params.l1Size, params.l1Ways, resolvedReplPolicy(params, 1)), shared_(&shared),
       mshr_(params.mshrEntries)
 {
     coreId_ = shared_->attachPeer(*this);

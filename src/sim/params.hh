@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <string>
 
+#include "sim/repl/policy.hh"
 #include "util/types.hh"
 
 namespace califorms
@@ -190,6 +191,20 @@ struct MemSysParams
     L1Format l1Format = L1Format::BitVector8B;
 
     /**
+     * Victim-selection policy of every cache level (the replacement
+     * laboratory, sim/repl/). Lru reproduces the historical hardwired
+     * true-LRU byte for byte; the alternatives (random, dip, drrip,
+     * ship) are deterministic, so campaign jobs-invariance holds for
+     * any policy grid.
+     */
+    ReplPolicy replPolicy = ReplPolicy::Lru;
+
+    /** Per-level overrides; Inherit (the default) follows replPolicy,
+     *  so e.g. a scan-resistant LLC can sit under an LRU L1/L2. */
+    ReplPolicy l2ReplPolicy = ReplPolicy::Inherit;
+    ReplPolicy llcReplPolicy = ReplPolicy::Inherit;
+
+    /**
      * Next-line prefetch into the L2 on L1 misses (a simplified model
      * of the hardware streamers real Westmere/Skylake parts have).
      * Prefetches consume DRAM bandwidth but hide their latency. Ignored
@@ -197,6 +212,29 @@ struct MemSysParams
      */
     bool nextLinePrefetch = false;
 };
+
+/** The concrete policy a hierarchy level runs: the per-level override
+ *  when set, the machine-wide mem.repl_policy otherwise. Level 1 is
+ *  the (private) L1, 2 the L2, 3 the LLC. */
+constexpr ReplPolicy
+resolvedReplPolicy(const MemSysParams &params, unsigned level)
+{
+    const ReplPolicy over = level == 2   ? params.l2ReplPolicy
+                            : level == 3 ? params.llcReplPolicy
+                                         : ReplPolicy::Inherit;
+    return over == ReplPolicy::Inherit ? params.replPolicy : over;
+}
+
+/** True when any level runs something other than the default Lru —
+ *  the gate for the repl.* stat/report blocks, mirroring the
+ *  mshr/dram convention that keeps default outputs byte-identical. */
+constexpr bool
+replPolicyActive(const MemSysParams &params)
+{
+    return resolvedReplPolicy(params, 1) != ReplPolicy::Lru ||
+           resolvedReplPolicy(params, 2) != ReplPolicy::Lru ||
+           resolvedReplPolicy(params, 3) != ReplPolicy::Lru;
+}
 
 /** Out-of-order core approximation parameters. */
 struct CoreParams

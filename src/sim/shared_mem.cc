@@ -14,11 +14,13 @@ SharedMemory::SharedMemory(const MemSysParams &params)
         throw std::invalid_argument("SharedMemory: levels must be 1..3");
     if (params.levels >= 2 && params.l2Size)
         below_.push_back(Level{
-            CacheArray<SentinelLine>(params.l2Size, params.l2Ways),
+            CacheArray<SentinelLine>(params.l2Size, params.l2Ways,
+                                     resolvedReplPolicy(params, 2)),
             params.l2Latency, 2});
     if (params.levels >= 3 && params.l3Size)
         below_.push_back(Level{
-            CacheArray<SentinelLine>(params.l3Size, params.l3Ways),
+            CacheArray<SentinelLine>(params.l3Size, params.l3Ways,
+                                     resolvedReplPolicy(params, 3)),
             params.l3Latency, 3});
 }
 

@@ -122,6 +122,32 @@ memlpStatEntries(const MemSysStats &mem, const MemSysParams &params)
     return out;
 }
 
+std::vector<StatEntry>
+replStatEntries(const MemSysStats &mem, const MemSysParams &params)
+{
+    std::vector<StatEntry> out;
+    if (!replPolicyActive(params))
+        return out;
+    out.push_back({"repl.l1d.cformEvictions",
+                   static_cast<double>(mem.l1.cformEvictions),
+                   "L1 evictions whose victim carried security bytes"});
+    out.push_back({"repl.l2.cformEvictions",
+                   static_cast<double>(mem.l2.cformEvictions),
+                   "L2 evictions whose victim carried security bytes"});
+    out.push_back({"repl.l3.cformEvictions",
+                   static_cast<double>(mem.l3.cformEvictions),
+                   "LLC evictions whose victim carried security bytes"});
+    const double evictions = static_cast<double>(
+        mem.l1.evictions + mem.l2.evictions + mem.l3.evictions);
+    const double cform = static_cast<double>(mem.l1.cformEvictions +
+                                             mem.l2.cformEvictions +
+                                             mem.l3.cformEvictions);
+    out.push_back({"repl.cformVictimRate",
+                   evictions ? cform / evictions : 0.0,
+                   "fraction of all evictions with califormed victims"});
+    return out;
+}
+
 namespace
 {
 
@@ -164,6 +190,11 @@ dumpStats(const Machine &machine)
     // configured with the non-blocking timing model.
     for (const StatEntry &e :
          memlpStatEntries(machine.memStats(), machine.params().mem))
+        line(os, e.name, e.value, e.desc);
+    // repl.* stats likewise only exist when some level runs a
+    // non-default replacement policy.
+    for (const StatEntry &e :
+         replStatEntries(machine.memStats(), machine.params().mem))
         line(os, e.name, e.value, e.desc);
     line(os, "exceptions.delivered",
          static_cast<double>(machine.exceptions().deliveredCount()),

@@ -59,6 +59,15 @@ std::vector<StatEntry> coherenceStatEntries(const MemSysStats &mem);
 std::vector<StatEntry> memlpStatEntries(const MemSysStats &mem,
                                         const MemSysParams &params);
 
+/** The repl.* counters of the replacement-policy laboratory:
+ *  per-level califormed-victim eviction counts and the overall
+ *  califormed victim rate. Same convention again: emitters append
+ *  these only when some level runs a non-default policy
+ *  (replPolicyActive), so every historical LRU emission stays
+ *  byte-identical. */
+std::vector<StatEntry> replStatEntries(const MemSysStats &mem,
+                                       const MemSysParams &params);
+
 /** Render all machine statistics in a flat, diffable format. */
 std::string dumpStats(const Machine &machine);
 

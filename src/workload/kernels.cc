@@ -539,8 +539,13 @@ findBenchmark(const std::string &name)
         if (b.name == name)
             return b;
     // The synthetic workload generators are benchmarks too (zipf,
-    // stream, stackchurn, ring, attackmix; see workload/synth.hh).
+    // stream, stackchurn, ring, attackmix; see workload/synth.hh) —
+    // as are the adversarial replacement stressors (thrash, scan,
+    // mixed).
     for (const auto &b : synthSuite())
+        if (b.name == name)
+            return b;
+    for (const auto &b : adversarialSuite())
         if (b.name == name)
             return b;
     throw std::invalid_argument("unknown benchmark: " + name);

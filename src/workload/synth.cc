@@ -20,6 +20,11 @@ constexpr Addr kStreamBase = 0x5000'0000ull;
 constexpr Addr kRingBase = 0x6000'0000ull;
 constexpr Addr kStackBase = 0x7f00'0000ull;
 constexpr Addr kAttackBase = 0x8000'0000ull;
+constexpr Addr kThrashBase = 0x9000'0000ull;
+constexpr Addr kScanHotBase = 0xa000'0000ull;
+constexpr Addr kMixedHotBase = 0xb000'0000ull;
+constexpr Addr kScanStreamBase = 0xc000'0000ull;
+constexpr Addr kMixedStreamBase = 0xe000'0000ull;
 
 std::size_t
 roundedStride(const SynthParams &p)
@@ -367,6 +372,169 @@ class AttackMixGenerator final : public BudgetedGenerator
     std::size_t scanOffset_ = 0;
 };
 
+/**
+ * Cyclic thrash: a pure loop over a working set just larger than the
+ * LLC — the textbook LRU worst case. Under LRU every access evicts the
+ * line that will be needed soonest, so the whole loop misses; any
+ * policy that retains a resistant reserve (LIP's LRU-position inserts,
+ * BRRIP's distant inserts) converts part of the loop into hits.
+ */
+class ThrashGenerator final : public BudgetedGenerator
+{
+  public:
+    ThrashGenerator(const SynthParams &p, std::uint64_t ops)
+        : BudgetedGenerator(ops), stride_(roundedStride(p)),
+          slots_(std::max<std::size_t>(1, p.thrashKb * 1024 / stride_))
+    {}
+
+  private:
+    TraceOp
+    produce() override
+    {
+        const std::uint64_t i = pos_++;
+        const Addr addr = kThrashBase + (i % slots_) * stride_;
+        if (i % 32 == 31)
+            return TraceOp::compute(2);
+        if (i % 16 == 15)
+            return TraceOp::store(addr, 8, i);
+        return TraceOp::load(addr, 8);
+    }
+
+    std::size_t stride_;
+    std::size_t slots_;
+    std::uint64_t pos_ = 0;
+};
+
+/**
+ * Scan pollution: a reused hot loop (hotKb, sized to live in the L2)
+ * interrupted every scanPeriod ops by a one-shot streaming episode of
+ * scanKb fresh lines that are never revisited. Under LRU each episode
+ * flushes the hot set out of the cache; scan-resistant policies keep
+ * the dead streaming lines near eviction and preserve the hot set —
+ * the workload the DRRIP-beats-LRU acceptance test pins.
+ */
+class ScanGenerator final : public BudgetedGenerator
+{
+  public:
+    ScanGenerator(const SynthParams &p, std::uint64_t ops)
+        : BudgetedGenerator(ops), stride_(roundedStride(p)),
+          hotSlots_(std::max<std::size_t>(1, p.hotKb * 1024 / stride_)),
+          scanSlots_(
+              std::max<std::size_t>(1, p.scanKb * 1024 / stride_)),
+          hotOps_(std::max<std::size_t>(1, p.scanPeriod))
+    {}
+
+  private:
+    TraceOp
+    produce() override
+    {
+        if (!scanning_) {
+            const Addr addr =
+                kScanHotBase + (hotPos_ % hotSlots_) * stride_;
+            ++hotPos_;
+            if (++phasePos_ >= hotOps_) {
+                phasePos_ = 0;
+                scanning_ = true;
+            }
+            if (hotPos_ % 8 == 0)
+                return TraceOp::store(addr, 8, hotPos_);
+            return TraceOp::load(addr, 8);
+        }
+        // The stream never wraps: every episode walks fresh lines.
+        const Addr addr = kScanStreamBase + scanPos_ * stride_;
+        ++scanPos_;
+        if (++phasePos_ >= scanSlots_) {
+            phasePos_ = 0;
+            scanning_ = false;
+        }
+        return TraceOp::load(addr, 8);
+    }
+
+    std::size_t stride_;
+    std::size_t hotSlots_;
+    std::size_t scanSlots_;
+    std::size_t hotOps_;
+    std::uint64_t hotPos_ = 0;
+    std::uint64_t scanPos_ = 0;
+    std::size_t phasePos_ = 0;
+    bool scanning_ = false;
+};
+
+/**
+ * Mixed hot-loop + scan with CFORM-protected hot objects: the scan
+ * stressor with the Califorms question attached. A quarter of the hot
+ * working set is CFORM-protected up front (security bytes at offsets
+ * 56-58, clear of the 8B accesses at the default 64B stride), then
+ * uniform-random hot references interleave with one-shot streaming
+ * episodes. Protected hot lines spill/fill in sentinel form, so
+ * whether a policy preferentially evicts califormed lines shows up
+ * directly in repl.cformEvictions / repl.cformVictimRate.
+ */
+class MixedGenerator final : public BudgetedGenerator
+{
+  public:
+    MixedGenerator(const SynthParams &p, std::uint64_t ops)
+        : BudgetedGenerator(ops), rng_(p.seed),
+          stride_(roundedStride(p)),
+          hotSlots_(std::max<std::size_t>(1, p.hotKb * 1024 / stride_)),
+          scanSlots_(
+              std::max<std::size_t>(1, p.scanKb * 1024 / stride_)),
+          hotOps_(std::max<std::size_t>(1, p.scanPeriod)),
+          protect_(std::max<std::size_t>(1, hotSlots_ / 4))
+    {}
+
+  private:
+    Addr
+    hotAddr(std::size_t slot) const
+    {
+        return kMixedHotBase + (slot % hotSlots_) * stride_;
+    }
+
+    TraceOp
+    produce() override
+    {
+        if (established_ < protect_) {
+            return TraceOp::cformOp(makeSetOp(
+                lineBase(hotAddr(established_++)), kMixedProtectMask));
+        }
+        if (!scanning_) {
+            if (++phasePos_ >= hotOps_) {
+                phasePos_ = 0;
+                scanning_ = true;
+            }
+            const Addr addr = hotAddr(rng_.nextBelow(hotSlots_));
+            if (rng_.nextBelow(8) == 0)
+                return TraceOp::store(addr, 8, rng_.next());
+            return TraceOp::load(addr, 8, rng_.nextBelow(2) == 0);
+        }
+        const Addr addr = kMixedStreamBase + scanPos_ * stride_;
+        ++scanPos_;
+        if (++phasePos_ >= scanSlots_) {
+            phasePos_ = 0;
+            scanning_ = false;
+        }
+        return TraceOp::load(addr, 8);
+    }
+
+    // Same tail placement as the multi-core protect preamble: 3
+    // security bytes at offsets 56-58, clear of the data accesses at
+    // the default stride (sub-line strides may legitimately trip them;
+    // the exception unit absorbs that like any probe).
+    static constexpr SecurityMask kMixedProtectMask =
+        0x0700'0000'0000'0000ull;
+
+    Rng rng_;
+    std::size_t stride_;
+    std::size_t hotSlots_;
+    std::size_t scanSlots_;
+    std::size_t hotOps_;
+    std::size_t protect_;
+    std::size_t established_ = 0;
+    std::uint64_t scanPos_ = 0;
+    std::size_t phasePos_ = 0;
+    bool scanning_ = false;
+};
+
 SpecBenchmark
 synthBench(const char *name)
 {
@@ -485,8 +653,11 @@ class PreambleReader final : public TraceReader
 const std::vector<std::string> &
 synthWorkloadNames()
 {
+    // The first kClassicWorkloads names are the historical
+    // synthSuite(); the adversarial replacement stressors follow.
     static const std::vector<std::string> names = {
-        "zipf", "stream", "stackchurn", "ring", "attackmix"};
+        "zipf", "stream", "stackchurn", "ring", "attackmix",
+        "thrash", "scan",  "mixed"};
     return names;
 }
 
@@ -511,6 +682,12 @@ makeSynthGenerator(const std::string &name, const SynthParams &params,
         return std::make_unique<RingGenerator>(params, ops);
     if (name == "attackmix")
         return std::make_unique<AttackMixGenerator>(params, ops);
+    if (name == "thrash")
+        return std::make_unique<ThrashGenerator>(params, ops);
+    if (name == "scan")
+        return std::make_unique<ScanGenerator>(params, ops);
+    if (name == "mixed")
+        return std::make_unique<MixedGenerator>(params, ops);
     throw std::invalid_argument("unknown synthetic workload: " + name);
 }
 
@@ -538,10 +715,28 @@ makeSynthStreams(const std::string &name, const SynthParams &params,
 const std::vector<SpecBenchmark> &
 synthSuite()
 {
+    // The classic five only: the workload-suite / multicore / memlp
+    // bench baselines iterate this suite, so growing it would change
+    // their committed grids. The adversarial stressors form their own
+    // suite below (bench_repl_policies / BENCH_repl.json).
     static const std::vector<SpecBenchmark> suite = [] {
         std::vector<SpecBenchmark> benches;
-        for (const std::string &name : synthWorkloadNames())
-            benches.push_back(synthBench(name.c_str()));
+        const auto &names = synthWorkloadNames();
+        for (std::size_t i = 0; i < kClassicWorkloads; ++i)
+            benches.push_back(synthBench(names[i].c_str()));
+        return benches;
+    }();
+    return suite;
+}
+
+const std::vector<SpecBenchmark> &
+adversarialSuite()
+{
+    static const std::vector<SpecBenchmark> suite = [] {
+        std::vector<SpecBenchmark> benches;
+        const auto &names = synthWorkloadNames();
+        for (std::size_t i = kClassicWorkloads; i < names.size(); ++i)
+            benches.push_back(synthBench(names[i].c_str()));
         return benches;
     }();
     return suite;

@@ -19,6 +19,19 @@
  *               objects — the only workload that (intentionally)
  *               trips security bytes
  *
+ * plus the adversarial replacement stressors (the classic
+ * replacement-policy test patterns, aimed at the sim/repl/ policy
+ * laboratory rather than the paper's software evaluation):
+ *
+ *   thrash      cyclic loop over a working set just larger than the
+ *               LLC — the LRU worst case
+ *   scan        reused hot loop polluted by periodic one-shot
+ *               streaming episodes — what scan-resistant policies
+ *               (DIP/DRRIP/SHiP) exist to survive
+ *   mixed       hot-loop + scan with a quarter of the hot set
+ *               CFORM-protected, so califormed-line eviction bias is
+ *               directly measurable (repl.cformEvictions)
+ *
  * Every generator is a TraceReader: the same op stream can be replayed
  * directly into a Machine (runTrace), serialized to a text or binary
  * trace (`califorms trace gen --workload`), or run as a campaign
@@ -43,8 +56,14 @@
 namespace califorms
 {
 
-/** The generator names, in registration order. */
+/** The generator names, in registration order: the classic five
+ *  first, then the adversarial stressors. */
 const std::vector<std::string> &synthWorkloadNames();
+
+/** How many of synthWorkloadNames() form the classic synthSuite()
+ *  (the committed workload/multicore/memlp baselines iterate exactly
+ *  these, so the count is part of the baseline contract). */
+constexpr std::size_t kClassicWorkloads = 5;
 
 /** True if @p name names a synthetic workload generator. */
 bool isSynthWorkload(const std::string &name);
@@ -78,6 +97,12 @@ makeSynthStreams(const std::string &name, const SynthParams &params,
  *  multi-core machine the spec fans out per core (makeSynthStreams)
  *  and replays through the deterministic round-robin interleaver. */
 const std::vector<SpecBenchmark> &synthSuite();
+
+/** The adversarial replacement stressors (thrash, scan, mixed) as
+ *  campaign benchmarks — the workload axis of bench_repl_policies.
+ *  Kept out of synthSuite() so the historical bench baselines keep
+ *  their exact grids. */
+const std::vector<SpecBenchmark> &adversarialSuite();
 
 } // namespace califorms
 

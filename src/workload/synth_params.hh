@@ -52,6 +52,22 @@ struct SynthParams
      *  decode path. 0 disables the preamble. Single-core runs never
      *  emit it. */
     std::size_t protectLines = 8;
+    /** Thrash: cyclic working set in KB. The default sits just over
+     *  the Table 3 2MB LLC — the classic LRU worst case where every
+     *  access misses but a small recency-resistant reserve would hit. */
+    std::size_t thrashKb = 2560;
+    /** Scan/mixed: reused hot working set in KB (larger than the L1 so
+     *  the hot loop lives in the L2, the level the scans pollute). */
+    std::size_t hotKb = 128;
+    /** Scan/mixed: size of one streaming episode in KB. Episodes walk
+     *  ever-fresh addresses — no line is ever revisited — so any
+     *  capacity they claim is pure pollution. The default is tuned so
+     *  hot + episode (320KB) overflows the 256KB L2 — LRU flushes the
+     *  hot set every episode — while the episode is short enough per
+     *  set that RRIP aging drains the dead scan lines first. */
+    std::size_t scanKb = 192;
+    /** Scan/mixed: hot-set operations between streaming episodes. */
+    std::size_t scanPeriod = 4096;
 };
 
 } // namespace califorms

@@ -196,6 +196,29 @@ TEST(Config, RejectsUnknownKeysAndBadValues)
     EXPECT_EQ(cfg.setCount(), 0u);
 }
 
+TEST(Config, ReplPolicyKeysParseAndRejectUnknownNames)
+{
+    Config cfg;
+    EXPECT_FALSE(cfg.set("mem.repl_policy", "drrip"));
+    EXPECT_FALSE(cfg.set("mem.l2_repl_policy", "ship"));
+    EXPECT_FALSE(cfg.set("mem.llc_repl_policy", "inherit"));
+    const RunConfig rc = cfg.makeRunConfig();
+    EXPECT_EQ(rc.machine.mem.replPolicy, ReplPolicy::Drrip);
+    EXPECT_EQ(rc.machine.mem.l2ReplPolicy, ReplPolicy::Ship);
+    EXPECT_EQ(rc.machine.mem.llcReplPolicy, ReplPolicy::Inherit);
+    EXPECT_EQ(resolvedReplPolicy(rc.machine.mem, 1), ReplPolicy::Drrip);
+    EXPECT_EQ(resolvedReplPolicy(rc.machine.mem, 2), ReplPolicy::Ship);
+    EXPECT_EQ(resolvedReplPolicy(rc.machine.mem, 3), ReplPolicy::Drrip);
+
+    // Unknown names list the candidates; the base key has no
+    // "inherit" (there is nothing above it to inherit from).
+    const auto bad = cfg.set("mem.repl_policy", "plru");
+    ASSERT_TRUE(bad);
+    EXPECT_NE(bad->find("expects one of"), std::string::npos);
+    EXPECT_NE(bad->find("drrip"), std::string::npos);
+    EXPECT_TRUE(cfg.set("mem.repl_policy", "inherit"));
+}
+
 TEST(Config, SerializeReloadRoundTripsTheResolvedConfig)
 {
     Config cfg;

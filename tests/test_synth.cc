@@ -40,10 +40,18 @@ serialize(const Trace &trace)
     return os.str();
 }
 
-TEST(SynthSuite, FiveWorkloadsRegistered)
+TEST(SynthSuite, EightWorkloadsRegistered)
 {
-    EXPECT_EQ(synthWorkloadNames().size(), 5u);
+    // Five classic workloads (the campaign suite the BENCH baselines
+    // iterate) plus the three adversarial replacement microworkloads.
+    EXPECT_EQ(synthWorkloadNames().size(), 8u);
+    EXPECT_EQ(kClassicWorkloads, 5u);
     EXPECT_EQ(synthSuite().size(), 5u);
+    EXPECT_EQ(adversarialSuite().size(), 3u);
+    for (const auto &b : adversarialSuite()) {
+        EXPECT_TRUE(isSynthWorkload(b.name));
+        EXPECT_FALSE(b.inSoftwareEval);
+    }
     for (const std::string &name : synthWorkloadNames()) {
         EXPECT_TRUE(isSynthWorkload(name));
         // Registered as campaign benchmarks, outside the software
@@ -78,7 +86,8 @@ TEST(SynthGenerator, DeterministicAndExactBudget)
 
 TEST(SynthGenerator, SeedChangesTheRandomizedStreams)
 {
-    for (const std::string name : {"zipf", "attackmix", "stackchurn"}) {
+    for (const std::string name :
+         {"zipf", "attackmix", "stackchurn", "mixed"}) {
         SynthParams a, b;
         b.seed = a.seed + 1;
         EXPECT_NE(serialize(materialize(name, a, 2000)),
@@ -239,6 +248,8 @@ TEST(SynthCampaign, JobsInvariantForEveryWorkload)
     spec.name = "synth_inv";
     for (const auto &b : synthSuite())
         spec.suite.push_back(&b);
+    for (const auto &b : adversarialSuite())
+        spec.suite.push_back(&b);
     spec.variants = exp::CampaignSpec::crossLevels(
         {{"base", InsertionPolicy::None, 0, 0, std::nullopt, false,
           {}}},
@@ -250,7 +261,8 @@ TEST(SynthCampaign, JobsInvariantForEveryWorkload)
     const exp::CampaignResult parallel = exp::runCampaign(spec, 8);
     ASSERT_EQ(serial.results.size(), parallel.results.size());
     ASSERT_EQ(serial.results.size(),
-              synthSuite().size() * spec.variants.size());
+              (synthSuite().size() + adversarialSuite().size()) *
+                  spec.variants.size());
     for (std::size_t i = 0; i < serial.results.size(); ++i) {
         EXPECT_EQ(serial.results[i].cycles, parallel.results[i].cycles)
             << serial.results[i].benchmark;

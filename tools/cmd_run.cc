@@ -89,6 +89,25 @@ report(const RunResult &r, const RunConfig &config)
                         r.mem.dramRowConflicts),
                     static_cast<unsigned long long>(
                         r.mem.dramBankConflictCycles));
+    // Replacement-laboratory line only when some level runs a
+    // non-default policy, keeping default-LRU output byte-identical.
+    if (replPolicyActive(config.machine.mem)) {
+        const double evictions =
+            static_cast<double>(r.mem.l1.evictions + r.mem.l2.evictions +
+                                r.mem.l3.evictions);
+        const double cform = static_cast<double>(
+            r.mem.l1.cformEvictions + r.mem.l2.cformEvictions +
+            r.mem.l3.cformEvictions);
+        std::printf("  repl: cformEvictions=%llu/%llu/%llu "
+                    "cformVictimRate=%.4f\n",
+                    static_cast<unsigned long long>(
+                        r.mem.l1.cformEvictions),
+                    static_cast<unsigned long long>(
+                        r.mem.l2.cformEvictions),
+                    static_cast<unsigned long long>(
+                        r.mem.l3.cformEvictions),
+                    evictions ? cform / evictions : 0.0);
+    }
     if (r.cores.empty())
         return;
     std::printf("  coherence: invalidations=%llu dirtyRecalls=%llu "

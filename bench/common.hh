@@ -179,6 +179,13 @@ runCampaign(const Options &opt, exp::CampaignSpec spec)
                          key.c_str());
             std::exit(2);
         }
+        if (key.rfind("fleet.", 0) == 0) {
+            std::fprintf(stderr,
+                         "%s has no effect here (only the fleet "
+                         "engine consumes fleet.* knobs)\n",
+                         key.c_str());
+            std::exit(2);
+        }
         if (exp::gridOwnedKey(key)) {
             std::fprintf(stderr,
                          "%s is owned by this harness's grid and "

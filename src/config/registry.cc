@@ -718,6 +718,37 @@ ParamRegistry::ParamRegistry()
             rc.synth.scanPeriod = static_cast<std::size_t>(v);
         }));
 
+    // ----------------------------------------------------------------
+    // fleet.* — multi-tenant serving engine (FleetParams; only
+    // `califorms fleet` and the fleet_throughput bench consume these).
+    // ----------------------------------------------------------------
+    specs_.push_back(uintKnob(
+        "fleet.shards", 0, 256, "",
+        "replay shards the tenant list is split across the pool into "
+        "(0 = one shard per tenant); never changes any counter",
+        [](const RunConfig &rc) { return rc.fleet.shards; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.fleet.shards = static_cast<unsigned>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "fleet.batch_ops", 1, 1u << 16, "",
+        "ops decoded per batch in the SoA replay hot loop (one bulk "
+        "TraceReader::fill and one stat flush per batch)",
+        [](const RunConfig &rc) { return rc.fleet.batchOps; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.fleet.batchOps = static_cast<std::size_t>(v);
+        }));
+    specs_.push_back(uintKnob(
+        "fleet.tenant_seed_stride", 0,
+        std::numeric_limits<std::uint64_t>::max(), "",
+        "tenant t's generator seed is workload.seed + stride * t "
+        "unless the tenant overlay pins workload.seed (0 = identical "
+        "streams for same-workload tenants)",
+        [](const RunConfig &rc) { return rc.fleet.tenantSeedStride; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.fleet.tenantSeedStride = v;
+        }));
+
     // Defaults are captured from a default RunConfig through each
     // spec's own accessor: the registry cannot disagree with the
     // params structs about what the Table 3 machine is.

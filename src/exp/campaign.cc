@@ -262,28 +262,27 @@ class Shard
 
 } // namespace
 
-std::vector<RunResult>
-runUnits(const std::vector<RunUnit> &units, unsigned jobs)
+void
+runTasks(std::size_t count,
+         const std::function<void(std::size_t)> &task, unsigned jobs)
 {
     // Shard windows pack head/tail into one uint32 pair.
-    if (units.size() > 0xffffffffull)
-        throw std::length_error("campaign exceeds 2^32 units");
-    std::vector<RunResult> results(units.size());
+    if (count > 0xffffffffull)
+        throw std::length_error("pool exceeds 2^32 tasks");
     const unsigned workers = std::min<std::size_t>(
-        effectiveJobs(jobs), units.empty() ? 1 : units.size());
+        effectiveJobs(jobs), count ? count : 1);
 
     if (workers <= 1) {
-        for (const RunUnit &unit : units)
-            results[unit.index] = runBenchmark(*unit.bench, unit.config);
-        return results;
+        for (std::size_t i = 0; i < count; ++i)
+            task(i);
+        return;
     }
 
     // Contiguous slice per worker; idle workers steal from the back of
     // the fullest remaining shard.
     std::vector<Shard> shards(workers);
     for (unsigned w = 0; w < workers; ++w)
-        shards[w].reset(units.size() * w / workers,
-                        units.size() * (w + 1) / workers);
+        shards[w].reset(count * w / workers, count * (w + 1) / workers);
 
     std::atomic<bool> stop{false};
     std::exception_ptr first_error;
@@ -292,8 +291,7 @@ runUnits(const std::vector<RunUnit> &units, unsigned jobs)
     auto worker = [&](unsigned self) {
         auto execute = [&](std::size_t idx) {
             try {
-                results[idx] =
-                    runBenchmark(*units[idx].bench, units[idx].config);
+                task(idx);
             } catch (...) {
                 {
                     const std::lock_guard<std::mutex> lock(error_mutex);
@@ -335,6 +333,19 @@ runUnits(const std::vector<RunUnit> &units, unsigned jobs)
 
     if (first_error)
         std::rethrow_exception(first_error);
+}
+
+std::vector<RunResult>
+runUnits(const std::vector<RunUnit> &units, unsigned jobs)
+{
+    std::vector<RunResult> results(units.size());
+    runTasks(
+        units.size(),
+        [&](std::size_t i) {
+            results[units[i].index] =
+                runBenchmark(*units[i].bench, units[i].config);
+        },
+        jobs);
     return results;
 }
 

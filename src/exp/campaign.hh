@@ -163,6 +163,18 @@ struct CampaignSpec
 unsigned effectiveJobs(unsigned jobs);
 
 /**
+ * Execute task(0), ..., task(count-1) on @p jobs work-stealing
+ * workers (jobs==1 runs inline on the caller). Tasks must be
+ * independent; each writes its own result slot. The first exception
+ * thrown by a task stops the pool and is rethrown after it drains.
+ * This is the engine under runUnits(), exposed so other subsystems
+ * (the fleet serving engine) schedule on the same deterministic pool.
+ */
+void runTasks(std::size_t count,
+              const std::function<void(std::size_t)> &task,
+              unsigned jobs);
+
+/**
  * Execute @p units on @p jobs workers (work-stealing; jobs==1 runs
  * inline). results[i] corresponds to units[i] regardless of jobs. The
  * first exception thrown by a unit is rethrown after the pool drains.

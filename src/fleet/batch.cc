@@ -1,0 +1,115 @@
+#include "fleet/batch.hh"
+
+#include <stdexcept>
+#include <vector>
+
+namespace califorms::fleet
+{
+
+namespace
+{
+
+/**
+ * One batch's worth of ops split into struct-of-arrays lanes. The
+ * vectors are sized once and reused across batches — replaying a
+ * 100M-op trace allocates exactly as much as replaying a 1K-op one.
+ */
+struct SoaBatch
+{
+    explicit SoaBatch(std::size_t capacity)
+        : ops(capacity), kind(capacity), meta(capacity), addr(capacity),
+          word(capacity), cform(capacity)
+    {}
+
+    std::vector<TraceOp> ops;          //!< fill() target (AoS)
+    std::vector<std::uint8_t> kind;    //!< TraceOp::Kind as index
+    std::vector<std::uint8_t> meta;    //!< size | dep-flag << 7
+    std::vector<Addr> addr;            //!< load/store address
+    std::vector<std::uint64_t> word;   //!< store value / compute ops
+    std::vector<CformOp> cform;        //!< CFORM operand
+};
+
+} // namespace
+
+BatchReplayStats
+replayBatched(Machine &machine, TraceReader &reader,
+              std::size_t batch_ops, std::uint64_t max_ops,
+              unsigned core)
+{
+    if (!batch_ops)
+        throw std::invalid_argument(
+            "replayBatched: batch_ops must be >= 1");
+
+    BatchReplayStats stats;
+    SoaBatch batch(batch_ops);
+
+    for (;;) {
+        // fill: one virtual call pulls the whole batch (bounded by the
+        // remaining op budget, so a capped replay never over-reads).
+        std::size_t want = batch_ops;
+        if (max_ops) {
+            const std::uint64_t left = max_ops - stats.ops;
+            if (!left)
+                break;
+            if (left < want)
+                want = static_cast<std::size_t>(left);
+        }
+        const std::size_t n = reader.fill(batch.ops.data(), want);
+        if (!n)
+            break;
+
+        // decode: AoS -> SoA lanes, counting kinds branch-free.
+        std::uint64_t kind_ops[4] = {0, 0, 0, 0};
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceOp &op = batch.ops[i];
+            const auto k = static_cast<std::uint8_t>(op.kind);
+            batch.kind[i] = k;
+            batch.meta[i] = static_cast<std::uint8_t>(
+                op.size | (op.dependsOnPrev ? 0x80 : 0));
+            batch.addr[i] = op.addr;
+            batch.word[i] = op.kind == TraceOp::Kind::Compute
+                                ? op.computeOps
+                                : op.value;
+            if (op.kind == TraceOp::Kind::Cform)
+                batch.cform[i] = op.cform;
+            ++kind_ops[k];
+        }
+
+        // access: drive the machine from the lanes; the checksum stays
+        // in a register until the flush below.
+        std::uint64_t checksum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            switch (static_cast<TraceOp::Kind>(batch.kind[i])) {
+            case TraceOp::Kind::Load:
+                checksum ^= machine.loadOn(core, batch.addr[i],
+                                           batch.meta[i] & 0x7f,
+                                           batch.meta[i] & 0x80);
+                break;
+            case TraceOp::Kind::Store:
+                machine.storeOn(core, batch.addr[i],
+                                batch.meta[i] & 0x7f, batch.word[i]);
+                break;
+            case TraceOp::Kind::Cform:
+                machine.cformOn(core, batch.cform[i]);
+                break;
+            case TraceOp::Kind::Compute:
+                machine.computeOn(
+                    core, static_cast<std::uint32_t>(batch.word[i]));
+                break;
+            }
+        }
+
+        // stats: one flush per batch.
+        stats.ops += n;
+        stats.checksum ^= checksum;
+        for (int k = 0; k < 4; ++k)
+            stats.kindOps[k] += kind_ops[k];
+        ++stats.batches;
+
+        if (n < want)
+            break; // reader drained mid-batch
+    }
+    return stats;
+}
+
+} // namespace califorms::fleet

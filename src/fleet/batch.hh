@@ -1,0 +1,59 @@
+/**
+ * @file batch.hh
+ * Batched SoA trace replay: the fleet serving engine's hot loop.
+ *
+ * runTrace() (sim/trace.cc) pays one virtual next() call, one switch,
+ * and scattered stat updates per op. replayBatched() restructures the
+ * loop around a reusable constant-size buffer:
+ *
+ *   fill     one virtual TraceReader::fill() per batch pulls up to
+ *            batch_ops ops into a buffer that is allocated once and
+ *            reused for the whole replay (constant memory for
+ *            arbitrarily long traces, no per-op virtual dispatch);
+ *   decode   the AoS ops are split into struct-of-arrays lanes (kind,
+ *            operand words, access metadata) in one sequential pass,
+ *            counting ops per kind branch-free via a kind-indexed
+ *            table;
+ *   access   the machine is driven lane-wise from the SoA arrays with
+ *            the checksum and per-kind counters held in locals;
+ *   stats    the locals flush into BatchReplayStats once per batch,
+ *            not once per op.
+ *
+ * The loop is bit-for-bit equivalent to runTrace(): same machine
+ * calls in the same order, same load-XOR checksum (a test pins this).
+ */
+
+#ifndef CALIFORMS_FLEET_BATCH_HH
+#define CALIFORMS_FLEET_BATCH_HH
+
+#include <cstdint>
+
+#include "sim/trace.hh"
+
+namespace califorms::fleet
+{
+
+/** Counters of one batched replay. */
+struct BatchReplayStats
+{
+    std::uint64_t ops = 0;      //!< total ops replayed
+    std::uint64_t batches = 0;  //!< fill/decode/flush rounds
+    std::uint64_t checksum = 0; //!< loads' value XOR (== runTrace)
+    /** Ops per TraceOp::Kind, indexed Load/Store/Cform/Compute. */
+    std::uint64_t kindOps[4] = {0, 0, 0, 0};
+};
+
+/**
+ * Replay @p reader into @p machine (core @p core) in batches of
+ * @p batch_ops, stopping after @p max_ops operations when non-zero
+ * (0 = drain the reader). Throws std::invalid_argument on
+ * batch_ops == 0.
+ */
+BatchReplayStats replayBatched(Machine &machine, TraceReader &reader,
+                               std::size_t batch_ops,
+                               std::uint64_t max_ops = 0,
+                               unsigned core = 0);
+
+} // namespace califorms::fleet
+
+#endif // CALIFORMS_FLEET_BATCH_HH

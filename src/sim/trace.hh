@@ -120,6 +120,20 @@ class TraceReader
     /** Produce the next op into @p op; false at end of trace. Throws
      *  std::runtime_error on malformed input. */
     virtual bool next(TraceOp &op) = 0;
+
+    /** Bulk variant: produce up to @p max ops into @p out, returning
+     *  the count actually written (< max only at end of trace). The
+     *  default loops next(); sources with cheaper batch decodes
+     *  override it. One virtual call per batch instead of per op is
+     *  what the fleet replay loop (fleet/batch.hh) builds on. */
+    virtual std::size_t
+    fill(TraceOp *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 };
 
 /**

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet_params.hh"
 #include "workload/kernels.hh"
 #include "workload/synth_params.hh"
 
@@ -31,6 +32,9 @@ struct RunConfig
     /** Synthetic workload generator knobs (workload.* registry keys);
      *  only the synthSuite() benchmarks consume them. */
     SynthParams synth{};
+    /** Fleet serving-engine knobs (fleet.* registry keys); only the
+     *  `califorms fleet` path consumes them. */
+    FleetParams fleet{};
     /** Layout randomization seed — the paper builds three binaries per
      *  configuration; vary this to model that. */
     std::uint64_t layoutSeed = 7;

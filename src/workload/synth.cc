@@ -77,6 +77,19 @@ class BudgetedGenerator : public TraceReader
         return true;
     }
 
+    /** Batch fast path for the fleet replay loop: one virtual call
+     *  per batch, produce() dispatched directly. */
+    std::size_t
+    fill(TraceOp *out, std::size_t max) final
+    {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining_, max));
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = produce();
+        remaining_ -= n;
+        return n;
+    }
+
   protected:
     virtual TraceOp produce() = 0;
 

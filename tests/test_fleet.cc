@@ -1,0 +1,494 @@
+/**
+ * @file test_fleet.cc
+ * Fleet serving engine tests: tenant manifest parsing and the overlay
+ * restriction rules, per-tenant config resolution (overlay precedence
+ * and the seed stride), bit-equivalence of the batched SoA replay loop
+ * against the per-op runTrace path, constant-memory streaming (fill
+ * requests never exceed the batch size over a multi-million-op
+ * replay), and the merged-report determinism contract: per-tenant sums
+ * equal the fleet totals and the timing-free JSON is byte-identical at
+ * any jobs/shards value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "config/config.hh"
+#include "fleet/engine.hh"
+#include "fleet/report.hh"
+#include "sim/trace.hh"
+#include "workload/synth.hh"
+
+namespace califorms::fleet
+{
+namespace
+{
+
+TenantSpec
+mustParse(const std::string &line)
+{
+    TenantSpec tenant;
+    const auto error = parseTenantSpec(line, tenant);
+    EXPECT_FALSE(error) << (error ? *error : "");
+    return tenant;
+}
+
+std::string
+parseError(const std::string &line)
+{
+    TenantSpec tenant;
+    const auto error = parseTenantSpec(line, tenant);
+    EXPECT_TRUE(error) << line;
+    return error ? *error : "";
+}
+
+// Manifest and --tenant spec parsing -----------------------------------
+
+TEST(TenantSpecParse, GeneratorTenantWithOverlay)
+{
+    const TenantSpec t =
+        mustParse("web workload=zipf mem.l2_size_kb=128 "
+                  "workload.ops=5000");
+    EXPECT_EQ(t.id, "web");
+    EXPECT_EQ(t.workload, "zipf");
+    EXPECT_TRUE(t.tracePath.empty());
+    EXPECT_EQ(t.source(), "workload=zipf");
+    ASSERT_EQ(t.sets.size(), 2u);
+    EXPECT_EQ(t.sets[0].first, "mem.l2_size_kb");
+    EXPECT_EQ(t.sets[0].second, "128");
+    EXPECT_TRUE(t.overlaySets("workload.ops"));
+    EXPECT_FALSE(t.overlaySets("workload.seed"));
+}
+
+TEST(TenantSpecParse, TraceTenant)
+{
+    const TenantSpec t = mustParse("db trace=/tmp/x.trc mem.levels=2");
+    EXPECT_EQ(t.id, "db");
+    EXPECT_EQ(t.tracePath, "/tmp/x.trc");
+    EXPECT_EQ(t.source(), "trace=/tmp/x.trc");
+}
+
+TEST(TenantSpecParse, Diagnostics)
+{
+    EXPECT_NE(parseError("").find("empty tenant spec"),
+              std::string::npos);
+    EXPECT_NE(parseError("workload=zipf")
+                  .find("must start with an id"),
+              std::string::npos);
+    EXPECT_NE(parseError("web").find("missing source"),
+              std::string::npos);
+    EXPECT_NE(parseError("web workload=doom")
+                  .find("unknown workload 'doom'"),
+              std::string::npos);
+    EXPECT_NE(parseError("web trace=").find("empty trace path"),
+              std::string::npos);
+    EXPECT_NE(parseError("web zipf").find("expected workload=<name>"),
+              std::string::npos);
+    EXPECT_NE(parseError("web workload=zipf junk")
+                  .find("expected key=value"),
+              std::string::npos);
+    // Overlay family restriction: only mem.* and workload.* are
+    // tenant knobs; everything else is rejected, not ignored.
+    EXPECT_NE(parseError("web workload=zipf layout.seed=3")
+                  .find("not a tenant knob"),
+              std::string::npos);
+    EXPECT_NE(parseError("web workload=zipf fleet.shards=2")
+                  .find("not a tenant knob"),
+              std::string::npos);
+    // workload.* on a trace tenant: the trace already fixes the
+    // stream.
+    EXPECT_NE(parseError("db trace=/tmp/x workload.ops=5")
+                  .find("cannot take effect on a trace tenant"),
+              std::string::npos);
+    // Values go through the registry, with --set's exact diagnostics.
+    EXPECT_NE(parseError("web workload=zipf mem.levels=9")
+                  .find("expects an integer in [1, 3]"),
+              std::string::npos);
+}
+
+TEST(ManifestParse, CommentsBlanksAndLineNumbers)
+{
+    std::vector<TenantSpec> tenants;
+    const auto ok = parseManifest("# fleet manifest\n"
+                                  "\n"
+                                  "web workload=zipf   # hot tenant\n"
+                                  "  \t \n"
+                                  "db workload=scan mem.levels=2\n",
+                                  tenants);
+    EXPECT_FALSE(ok) << (ok ? *ok : "");
+    ASSERT_EQ(tenants.size(), 2u);
+    EXPECT_EQ(tenants[0].id, "web");
+    EXPECT_EQ(tenants[1].id, "db");
+    EXPECT_EQ(tenants[1].sets.size(), 1u);
+
+    std::vector<TenantSpec> bad;
+    const auto error =
+        parseManifest("web workload=zipf\n\nweb2 nope\n", bad);
+    ASSERT_TRUE(error);
+    EXPECT_NE(error->find("manifest line 3:"), std::string::npos);
+}
+
+TEST(ManifestParse, ValidateTenants)
+{
+    std::vector<TenantSpec> none;
+    const auto empty = validateTenants(none);
+    ASSERT_TRUE(empty);
+    EXPECT_NE(empty->find("fleet has no tenants"), std::string::npos);
+
+    std::vector<TenantSpec> dup = {mustParse("web workload=zipf"),
+                                   mustParse("db workload=scan"),
+                                   mustParse("web workload=ring")};
+    const auto error = validateTenants(dup);
+    ASSERT_TRUE(error);
+    EXPECT_NE(error->find("duplicate tenant id 'web'"),
+              std::string::npos);
+}
+
+// Per-tenant config resolution -----------------------------------------
+
+FleetSpec
+smallFleet(std::uint64_t duration_ops = 4000)
+{
+    FleetSpec spec;
+    spec.tenants = {mustParse("a workload=zipf"),
+                    mustParse("b workload=zipf"),
+                    mustParse("c workload=scan mem.l2_size_kb=128"),
+                    mustParse("d workload=stackchurn")};
+    spec.durationOps = duration_ops;
+    return spec;
+}
+
+TEST(ResolveTenantConfig, OverlayAndSeedStride)
+{
+    FleetSpec spec = smallFleet();
+    spec.base.fleet.tenantSeedStride = 10;
+    spec.base.synth.seed = 100;
+
+    // Tenant 0 keeps the base seed; tenant 1 is strided; the overlay
+    // applies on top of a copy of the base (tenant 2's L2 shrinks,
+    // the others keep the default).
+    EXPECT_EQ(resolveTenantConfig(spec, 0).synth.seed, 100u);
+    EXPECT_EQ(resolveTenantConfig(spec, 1).synth.seed, 110u);
+    EXPECT_EQ(resolveTenantConfig(spec, 2).synth.seed, 120u);
+    EXPECT_EQ(resolveTenantConfig(spec, 2).machine.mem.l2Size,
+              128u * 1024);
+    EXPECT_NE(resolveTenantConfig(spec, 1).machine.mem.l2Size,
+              128u * 1024);
+}
+
+TEST(ResolveTenantConfig, OverlayPinnedSeedBeatsStride)
+{
+    FleetSpec spec;
+    spec.tenants = {mustParse("a workload=zipf"),
+                    mustParse("b workload=zipf workload.seed=42")};
+    spec.base.fleet.tenantSeedStride = 10;
+    spec.base.synth.seed = 100;
+    EXPECT_EQ(resolveTenantConfig(spec, 0).synth.seed, 100u);
+    EXPECT_EQ(resolveTenantConfig(spec, 1).synth.seed, 42u);
+}
+
+TEST(ResolveTenantConfig, StrideZeroGivesIdenticalStreams)
+{
+    FleetSpec spec;
+    spec.tenants = {mustParse("a workload=zipf"),
+                    mustParse("b workload=zipf")};
+    spec.base.fleet.tenantSeedStride = 0;
+    spec.durationOps = 3000;
+    const FleetResult result = runFleet(spec, 1);
+    ASSERT_EQ(result.tenants.size(), 2u);
+    // Same workload, same seed: bit-identical tenants.
+    EXPECT_EQ(result.tenants[0].replay.checksum,
+              result.tenants[1].replay.checksum);
+    EXPECT_EQ(result.tenants[0].cycles, result.tenants[1].cycles);
+
+    // Stride 1 (the default) decorrelates them.
+    spec.base.fleet.tenantSeedStride = 1;
+    const FleetResult strided = runFleet(spec, 1);
+    EXPECT_NE(strided.tenants[0].replay.checksum,
+              strided.tenants[1].replay.checksum);
+    // ...without touching tenant 0, whose seed is unstrided.
+    EXPECT_EQ(strided.tenants[0].replay.checksum,
+              result.tenants[0].replay.checksum);
+}
+
+// The batched SoA hot loop ---------------------------------------------
+
+TEST(BatchReplay, BitEquivalentToRunTrace)
+{
+    SynthParams params;
+    const std::uint64_t ops = 20000;
+    // Generators covering all four op kinds: stackchurn for CFORMs,
+    // attackmix for faults, zipf for dependent loads.
+    for (const std::string &name :
+         {std::string("zipf"), std::string("stackchurn"),
+          std::string("attackmix")}) {
+        Machine reference({}, ExceptionUnit::Policy::Record);
+        const auto ref_gen = makeSynthGenerator(name, params, ops);
+        std::uint64_t ref_ops = 0;
+        const std::uint64_t ref_checksum =
+            runTrace(reference, *ref_gen, &ref_ops);
+
+        Machine batched({}, ExceptionUnit::Policy::Record);
+        const auto gen = makeSynthGenerator(name, params, ops);
+        const BatchReplayStats stats =
+            replayBatched(batched, *gen, 256);
+
+        EXPECT_EQ(stats.ops, ref_ops) << name;
+        EXPECT_EQ(stats.checksum, ref_checksum) << name;
+        EXPECT_EQ(batched.cycles(), reference.cycles()) << name;
+        EXPECT_EQ(batched.instructions(), reference.instructions())
+            << name;
+        EXPECT_EQ(batched.memStats().securityFaults,
+                  reference.memStats().securityFaults)
+            << name;
+        EXPECT_EQ(stats.kindOps[0] + stats.kindOps[1] +
+                      stats.kindOps[2] + stats.kindOps[3],
+                  stats.ops)
+            << name;
+    }
+}
+
+TEST(BatchReplay, BatchSizeInvariant)
+{
+    // The batch size is a pure performance knob: any value produces
+    // the same machine state and checksum.
+    SynthParams params;
+    std::uint64_t checksum0 = 0;
+    Cycles cycles0 = 0;
+    for (const std::size_t batch : {1ul, 7ul, 256ul, 65536ul}) {
+        Machine machine({}, ExceptionUnit::Policy::Record);
+        const auto gen = makeSynthGenerator("mixed", params, 10000);
+        const BatchReplayStats stats =
+            replayBatched(machine, *gen, batch);
+        EXPECT_EQ(stats.ops, 10000u);
+        EXPECT_EQ(stats.batches,
+                  (10000 + batch - 1) / batch);
+        if (!checksum0) {
+            checksum0 = stats.checksum;
+            cycles0 = machine.cycles();
+        }
+        EXPECT_EQ(stats.checksum, checksum0) << batch;
+        EXPECT_EQ(machine.cycles(), cycles0) << batch;
+    }
+}
+
+TEST(BatchReplay, MaxOpsCapsTheReplay)
+{
+    SynthParams params;
+    Machine machine({}, ExceptionUnit::Policy::Record);
+    const auto gen = makeSynthGenerator("stream", params, 100000);
+    const BatchReplayStats stats =
+        replayBatched(machine, *gen, 256, 1000);
+    EXPECT_EQ(stats.ops, 1000u);
+    EXPECT_EQ(stats.batches, 4u); // ceil(1000 / 256)
+
+    // The cap must be an exact prefix of the uncapped replay.
+    Machine full({}, ExceptionUnit::Policy::Record);
+    const auto prefix_gen = makeSynthGenerator("stream", params, 1000);
+    const BatchReplayStats prefix =
+        replayBatched(full, *prefix_gen, 256);
+    EXPECT_EQ(stats.checksum, prefix.checksum);
+    EXPECT_EQ(machine.cycles(), full.cycles());
+}
+
+TEST(BatchReplay, ZeroBatchThrows)
+{
+    SynthParams params;
+    Machine machine({}, ExceptionUnit::Policy::Record);
+    const auto gen = makeSynthGenerator("zipf", params, 10);
+    EXPECT_THROW(replayBatched(machine, *gen, 0),
+                 std::invalid_argument);
+}
+
+/** Wraps a reader to record the largest single fill() request — the
+ *  constant-memory contract: the replay loop must never ask for more
+ *  than one batch at a time, however long the trace. */
+class FillAuditReader : public TraceReader
+{
+  public:
+    explicit FillAuditReader(TraceReader &inner) : inner_(inner) {}
+
+    bool next(TraceOp &op) override { return inner_.next(op); }
+
+    std::size_t
+    fill(TraceOp *out, std::size_t max) override
+    {
+        maxRequest = std::max(maxRequest, max);
+        ++fillCalls;
+        return inner_.fill(out, max);
+    }
+
+    std::size_t maxRequest = 0;
+    std::uint64_t fillCalls = 0;
+
+  private:
+    TraceReader &inner_;
+};
+
+TEST(BatchReplay, ConstantMemoryOverTwoMillionOps)
+{
+    // 2M ops through a 512-op buffer: one fill per batch, never a
+    // request larger than the batch — the buffer is the only storage,
+    // so memory stays constant however long the stream runs.
+    SynthParams params;
+    const std::uint64_t ops = 2'000'000;
+    Machine machine({}, ExceptionUnit::Policy::Record);
+    const auto gen = makeSynthGenerator("stream", params, ops);
+    FillAuditReader audit(*gen);
+    const BatchReplayStats stats = replayBatched(machine, audit, 512);
+    EXPECT_EQ(stats.ops, ops);
+    EXPECT_EQ(audit.maxRequest, 512u);
+    EXPECT_EQ(audit.fillCalls, stats.batches);
+    EXPECT_EQ(stats.batches, ops / 512 + (ops % 512 ? 1 : 0));
+}
+
+// The fleet engine ------------------------------------------------------
+
+TEST(RunFleet, PerTenantSumsEqualMergedTotals)
+{
+    const FleetSpec spec = smallFleet();
+    const FleetResult result = runFleet(spec, 2);
+    ASSERT_EQ(result.tenants.size(), 4u);
+    std::uint64_t ops = 0;
+    for (const TenantResult &t : result.tenants) {
+        EXPECT_EQ(t.replay.ops, 4000u) << t.id;
+        ops += t.replay.ops;
+    }
+    EXPECT_EQ(result.totalOps, ops);
+    EXPECT_EQ(result.shards, 4u);
+    EXPECT_EQ(result.tenants[0].id, "a");
+    EXPECT_EQ(result.tenants[3].id, "d");
+}
+
+TEST(RunFleet, JobsAndShardsInvariant)
+{
+    // The determinism contract: tenants, counters, and the timing-free
+    // JSON are identical at any (jobs, shards) combination.
+    FleetSpec spec = smallFleet();
+    const FleetResult serial = runFleet(spec, 1);
+    const std::string serial_json = fleetJson(spec, serial, false);
+
+    const FleetResult parallel = runFleet(spec, 8);
+    EXPECT_EQ(fleetJson(spec, parallel, false), serial_json);
+
+    spec.base.fleet.shards = 2;
+    const FleetResult sharded = runFleet(spec, 8);
+    EXPECT_EQ(sharded.shards, 2u);
+    for (std::size_t i = 0; i < serial.tenants.size(); ++i) {
+        EXPECT_EQ(sharded.tenants[i].replay.checksum,
+                  serial.tenants[i].replay.checksum);
+        EXPECT_EQ(sharded.tenants[i].cycles, serial.tenants[i].cycles);
+    }
+}
+
+TEST(RunFleet, InvalidFleetsThrow)
+{
+    FleetSpec empty;
+    EXPECT_THROW(runFleet(empty, 1), std::invalid_argument);
+
+    FleetSpec multicore = smallFleet();
+    multicore.base.machine.core.count = 2;
+    EXPECT_THROW(runFleet(multicore, 1), std::invalid_argument);
+
+    FleetSpec missing;
+    missing.tenants = {mustParse("t trace=/nonexistent/x.trc")};
+    EXPECT_THROW(runFleet(missing, 1), std::runtime_error);
+}
+
+TEST(RunFleet, TraceTenantMatchesDirectReplay)
+{
+    // Serialize a generator stream to a binary trace file, then serve
+    // it as a trace tenant: the fleet must reproduce the direct
+    // machine replay exactly.
+    SynthParams params;
+    const std::uint64_t ops = 5000;
+    const auto gen = makeSynthGenerator("ring", params, ops);
+    Trace trace;
+    TraceOp op;
+    while (gen->next(op))
+        trace.push_back(op);
+
+    const std::string path =
+        testing::TempDir() + "fleet_ring.caltrc";
+    {
+        std::ofstream os(path, std::ios::binary);
+        writeTraceBinary(os, trace);
+    }
+
+    Machine direct({}, ExceptionUnit::Policy::Record);
+    const std::uint64_t checksum = runTrace(direct, trace);
+
+    FleetSpec spec;
+    spec.tenants = {mustParse("ring trace=" + path)};
+    const FleetResult result = runFleet(spec, 1);
+    std::remove(path.c_str());
+    ASSERT_EQ(result.tenants.size(), 1u);
+    EXPECT_EQ(result.tenants[0].replay.ops, ops);
+    EXPECT_EQ(result.tenants[0].replay.checksum, checksum);
+    EXPECT_EQ(result.tenants[0].cycles, direct.cycles());
+    EXPECT_EQ(result.tenants[0].source, "trace=" + path);
+}
+
+// The merged report -----------------------------------------------------
+
+TEST(FleetReport, ShapeAndDeterminism)
+{
+    const FleetSpec spec = smallFleet();
+    const FleetResult result = runFleet(spec, 4);
+    const std::string json = fleetJson(spec, result, false);
+
+    // v2 schema with the fleet and throughput objects; no wall-clock
+    // fields without timing.
+    EXPECT_NE(json.find("\"schema\": \"califorms-campaign/v2\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"campaign\": \"fleet\""), std::string::npos);
+    EXPECT_NE(json.find("\"throughput\": {\"opsReplayed\": 16000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tenant\": \"c\""), std::string::npos);
+    EXPECT_EQ(json.find("opsPerSec"), std::string::npos);
+    EXPECT_EQ(json.find("timing"), std::string::npos);
+
+    // With timing, the rate and the timing object appear.
+    const std::string timed = fleetJson(spec, result, true);
+    EXPECT_NE(timed.find("opsPerSec"), std::string::npos);
+    EXPECT_NE(timed.find("\"timing\": {\"jobs\": "), std::string::npos);
+
+    // The summary printer is deterministic too.
+    std::ostringstream a, b;
+    printFleetSummary(a, result);
+    printFleetSummary(b, runFleet(spec, 8));
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("fleet: 4 tenants"), std::string::npos);
+    EXPECT_NE(a.str().find("tenant a: workload=zipf"),
+              std::string::npos);
+}
+
+TEST(FleetReport, ChecksumRendersAsHexString)
+{
+    FleetSpec spec;
+    spec.tenants = {mustParse("t workload=zipf")};
+    spec.durationOps = 2000;
+    const FleetResult result = runFleet(spec, 1);
+    char expect[32];
+    std::snprintf(expect, sizeof(expect), "\"%016llx\"",
+                  static_cast<unsigned long long>(
+                      result.tenants[0].replay.checksum));
+    EXPECT_NE(fleetJson(spec, result, false).find(expect),
+              std::string::npos);
+}
+
+TEST(FleetResultApi, OpsPerSec)
+{
+    FleetResult r;
+    r.totalOps = 5000;
+    r.elapsedMs = 0;
+    EXPECT_EQ(r.opsPerSec(), 0.0);
+    r.elapsedMs = 500;
+    EXPECT_DOUBLE_EQ(r.opsPerSec(), 10000.0);
+}
+
+} // namespace
+} // namespace califorms::fleet

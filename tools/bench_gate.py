@@ -14,13 +14,21 @@ califorms-campaign/v1 or /v2) against a committed baseline:
     and current runs come from different machines or when ctest runs
     several suites in parallel), or --time-only to skip the counter
     comparison (e.g. when gating wall clock against a previous CI
-    run whose counters predate an intentional baseline update).
+    run whose counters predate an intentional baseline update);
+  * the optional "throughput" object (fleet reports) splits the same
+    way: its deterministic counters (opsReplayed, batchOps, shards,
+    tenants) are exact-matched with the other counters, while the
+    wall-clock-derived opsPerSec is gated as a floor — the current
+    rate may fall short of the baseline by at most --ops-threshold
+    (default 0.30 = -30%), and is skipped by --no-time alongside the
+    elapsedMs check.
 
 Uses only the Python standard library. Exit codes: 0 pass, 1 regression,
 2 usage/IO error.
 
 Usage:
-  bench_gate.py CURRENT BASELINE [--time-threshold F] [--no-time | --time-only]
+  bench_gate.py CURRENT BASELINE [--time-threshold F] [--ops-threshold F]
+                [--no-time | --time-only]
   bench_gate.py CURRENT BASELINE --update
 """
 
@@ -108,6 +116,51 @@ def compare_time(current, baseline, threshold):
     return []
 
 
+def compare_throughput_counters(current, baseline):
+    """Exact comparison of the deterministic throughput counters.
+
+    Reports without a baseline throughput object (every non-fleet
+    harness) are exempt; a baseline that has one pins the shape.
+    """
+    base_tp = baseline.get("throughput")
+    if base_tp is None:
+        return []
+    cur_tp = current.get("throughput")
+    if cur_tp is None:
+        return ["throughput object missing from current report"]
+    failures = []
+    for field in ("opsReplayed", "batchOps", "shards", "tenants"):
+        if field in base_tp and cur_tp.get(field) != base_tp[field]:
+            failures.append(
+                f"throughput.{field} {base_tp[field]} -> "
+                f"{cur_tp.get(field)}")
+    return failures
+
+
+def compare_throughput_rate(current, baseline, tolerance):
+    """Floor-gate the wall-clock-derived replay rate.
+
+    Unlike elapsedMs (lower is better, gated above), opsPerSec is
+    higher-is-better: the current rate must reach at least
+    baseline * (1 - tolerance). Faster is never a failure.
+    """
+    base_rate = baseline.get("throughput", {}).get("opsPerSec")
+    if base_rate is None or base_rate <= 0:
+        return []
+    cur_rate = current.get("throughput", {}).get("opsPerSec")
+    if cur_rate is None:
+        return ["throughput.opsPerSec missing from current report "
+                "(rerun without --no-timing)"]
+    ratio = cur_rate / base_rate
+    if ratio < 1.0 - tolerance:
+        return [f"throughput regressed {ratio - 1.0:+.1%} "
+                f"({base_rate:.0f} -> {cur_rate:.0f} ops/s, "
+                f"floor -{tolerance:.0%})"]
+    print(f"bench_gate: throughput {ratio - 1.0:+.1%} vs baseline "
+          f"({base_rate:.0f} -> {cur_rate:.0f} ops/s)")
+    return []
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="califorms benchmark regression gate")
@@ -116,6 +169,9 @@ def main():
     parser.add_argument("--time-threshold", type=float, default=0.15,
                         help="max relative wall-clock regression "
                              "(default 0.15 = +15%%)")
+    parser.add_argument("--ops-threshold", type=float, default=0.30,
+                        help="max relative ops/sec shortfall "
+                             "(default 0.30 = -30%%)")
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--no-time", action="store_true",
                        help="skip the wall-clock comparison")
@@ -141,9 +197,12 @@ def main():
     failures = []
     if not args.time_only:
         failures += compare_counters(current, baseline)
+        failures += compare_throughput_counters(current, baseline)
     if not args.no_time:
         failures += compare_time(current, baseline,
                                  args.time_threshold)
+        failures += compare_throughput_rate(current, baseline,
+                                            args.ops_threshold)
 
     if failures:
         print(f"bench_gate: FAIL ({len(failures)} regression(s)):")

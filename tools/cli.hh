@@ -7,6 +7,7 @@
  *   attack  replay the Section 7.3 security scenarios
  *   sweep   iterate layout policies over a benchmark (policy harness)
  *   trace   generate and replay plain-text sim traces
+ *   fleet   replay sharded multi-tenant streams (serving engine)
  *   config  inspect the typed parameter registry and resolved configs
  *
  * Every subcommand accepts `--set key=value` (repeatable) and
@@ -37,6 +38,7 @@ int cmdRun(int argc, char **argv);
 int cmdAttack(int argc, char **argv);
 int cmdSweep(int argc, char **argv);
 int cmdTrace(int argc, char **argv);
+int cmdFleet(int argc, char **argv);
 int cmdConfig(int argc, char **argv);
 
 /** Parse a policy name (none|opportunistic|full|intelligent|fixed);

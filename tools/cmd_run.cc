@@ -182,6 +182,18 @@ cmdRun(int argc, char **argv)
         return 2;
     }
 
+    // fleet.* knobs configure only the `califorms fleet` serving
+    // engine; on a single run they would be a silent no-op.
+    for (const auto &[key, value] : cfg.entries()) {
+        if (key.rfind("fleet.", 0) == 0) {
+            std::fprintf(stderr,
+                         "califorms run: %s has no effect here (only "
+                         "`califorms fleet` consumes fleet.* knobs)\n",
+                         key.c_str());
+            return 2;
+        }
+    }
+
     // workload.* knobs drive only the synthetic generator benchmarks;
     // on anything else they would be a silent no-op, so reject them.
     if (!isSynthWorkload(bench_name)) {

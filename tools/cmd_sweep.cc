@@ -250,6 +250,13 @@ cmdSweep(int argc, char **argv)
                          prog, key.c_str());
             return 2;
         }
+        if (key.rfind("fleet.", 0) == 0) {
+            std::fprintf(stderr,
+                         "%s: %s has no effect here (only `califorms "
+                         "fleet` consumes fleet.* knobs)\n",
+                         prog, key.c_str());
+            return 2;
+        }
         if (exp::gridOwnedKey(key)) {
             std::fprintf(stderr,
                          "%s: %s is owned by the sweep grid "

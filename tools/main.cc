@@ -23,6 +23,8 @@ usage(int rc)
         "  attack  replay the Section 7.3 security scenarios\n"
         "  sweep   iterate layout policies over a benchmark\n"
         "  trace   generate and replay plain-text sim traces\n"
+        "  fleet   replay sharded multi-tenant streams (serving "
+        "engine)\n"
         "  config  inspect the parameter registry and resolved "
         "configs\n"
         "  help    show this message\n"
@@ -51,6 +53,8 @@ main(int argc, char **argv)
             return cmdSweep(argc - 2, argv + 2);
         if (cmd == "trace")
             return cmdTrace(argc - 2, argv + 2);
+        if (cmd == "fleet")
+            return cmdFleet(argc - 2, argv + 2);
         if (cmd == "config")
             return cmdConfig(argc - 2, argv + 2);
         if (cmd == "help" || cmd == "--help")

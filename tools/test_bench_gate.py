@@ -19,11 +19,22 @@ from unittest import mock
 import bench_gate
 
 
-def make_report(runs, timing_ms=None):
+def make_report(runs, timing_ms=None, throughput=None):
     report = {"schema": "califorms-campaign/v2", "runs": runs}
     if timing_ms is not None:
         report["timing"] = {"jobs": 1, "elapsedMs": timing_ms}
+    if throughput is not None:
+        report["throughput"] = throughput
     return report
+
+
+def make_throughput(ops=20000, batch=256, shards=4, tenants=4,
+                    rate=None):
+    tp = {"opsReplayed": ops, "batchOps": batch, "shards": shards,
+          "tenants": tenants}
+    if rate is not None:
+        tp["opsPerSec"] = rate
+    return tp
 
 
 def make_run(benchmark="mcf", variant="base", seed=1000, cycles=100,
@@ -114,6 +125,91 @@ class CompareTimeTest(unittest.TestCase):
         self.assertEqual(self.compare(100.0, 0.0, 0.15), [])
 
 
+class CompareThroughputCountersTest(unittest.TestCase):
+    def test_no_baseline_throughput_exempt(self):
+        # Every non-fleet harness: neither report has the object.
+        base = make_report([make_run()])
+        cur = make_report([make_run()],
+                          throughput=make_throughput())
+        self.assertEqual(
+            bench_gate.compare_throughput_counters(cur, base), [])
+
+    def test_identical_counters_pass(self):
+        report = make_report([], throughput=make_throughput())
+        self.assertEqual(
+            bench_gate.compare_throughput_counters(report, report), [])
+
+    def test_ops_replayed_drift_fails(self):
+        base = make_report([], throughput=make_throughput(ops=20000))
+        cur = make_report([], throughput=make_throughput(ops=19999))
+        failures = bench_gate.compare_throughput_counters(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("throughput.opsReplayed", failures[0])
+        self.assertIn("20000", failures[0])
+        self.assertIn("19999", failures[0])
+
+    def test_shard_drift_fails(self):
+        base = make_report([], throughput=make_throughput(shards=4))
+        cur = make_report([], throughput=make_throughput(shards=2))
+        failures = bench_gate.compare_throughput_counters(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("throughput.shards", failures[0])
+
+    def test_missing_object_fails(self):
+        base = make_report([], throughput=make_throughput())
+        cur = make_report([])
+        failures = bench_gate.compare_throughput_counters(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("throughput object missing", failures[0])
+
+    def test_rate_not_compared_exactly(self):
+        # opsPerSec is wall-clock-derived; only the floor gate below
+        # looks at it, never the exact comparison.
+        base = make_report([],
+                           throughput=make_throughput(rate=100.0))
+        cur = make_report([],
+                          throughput=make_throughput(rate=57.0))
+        self.assertEqual(
+            bench_gate.compare_throughput_counters(cur, base), [])
+
+
+class CompareThroughputRateTest(unittest.TestCase):
+    def compare(self, cur_rate, base_rate, tolerance):
+        with contextlib.redirect_stdout(io.StringIO()):
+            return bench_gate.compare_throughput_rate(
+                make_report([], throughput=make_throughput(
+                    rate=cur_rate)),
+                make_report([], throughput=make_throughput(
+                    rate=base_rate)), tolerance)
+
+    def test_faster_passes(self):
+        # Drift upward (a speedup) is never a regression.
+        self.assertEqual(self.compare(250.0, 100.0, 0.30), [])
+
+    def test_exactly_at_floor_passes(self):
+        # "May fall short by at most tolerance": 75 at -25% of 100 is
+        # the inclusive edge (values chosen exact in binary).
+        self.assertEqual(self.compare(75.0, 100.0, 0.25), [])
+
+    def test_below_floor_fails(self):
+        failures = self.compare(74.0, 100.0, 0.25)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("throughput regressed", failures[0])
+        self.assertIn("-26.0%", failures[0])
+
+    def test_missing_current_rate_fails(self):
+        failures = bench_gate.compare_throughput_rate(
+            make_report([], throughput=make_throughput()),
+            make_report([], throughput=make_throughput(rate=100.0)),
+            0.30)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("opsPerSec missing", failures[0])
+
+    def test_no_baseline_rate_skipped(self):
+        self.assertEqual(bench_gate.compare_throughput_rate(
+            make_report([]), make_report([]), 0.30), [])
+
+
 class MainTest(unittest.TestCase):
     """End-to-end through main(), with real files."""
 
@@ -182,6 +278,31 @@ class MainTest(unittest.TestCase):
         base = self.write("base.json", make_report([]))
         with self.assertRaises(SystemExit):
             self.run_main(path, base, "--no-time")
+
+    def test_throughput_floor_through_main(self):
+        cur = self.write("cur.json", make_report(
+            [make_run()], timing_ms=10.0,
+            throughput=make_throughput(rate=50.0)))
+        base = self.write("base.json", make_report(
+            [make_run()], timing_ms=10.0,
+            throughput=make_throughput(rate=100.0)))
+        code, out = self.run_main(cur, base)
+        self.assertEqual(code, 1)
+        self.assertIn("throughput regressed", out)
+        # A looser explicit floor lets the same pair pass.
+        code, _ = self.run_main(cur, base, "--ops-threshold", "0.5")
+        self.assertEqual(code, 0)
+
+    def test_no_time_skips_throughput_rate(self):
+        # ctest's BenchGate.cmake path: counters exact, rate ignored.
+        cur = self.write("cur.json", make_report(
+            [make_run()], throughput=make_throughput(rate=1.0)))
+        base = self.write("base.json", make_report(
+            [make_run()], timing_ms=10.0,
+            throughput=make_throughput(rate=100.0)))
+        code, out = self.run_main(cur, base, "--no-time")
+        self.assertEqual(code, 0)
+        self.assertIn("PASS", out)
 
     def test_update_rewrites_baseline(self):
         report = make_report([make_run(cycles=42)])

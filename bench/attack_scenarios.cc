@@ -1,0 +1,111 @@
+/**
+ * @file attack_scenarios.cc
+ * Red-team scenario laboratory: every registered attack scenario
+ * (scan, probe, brop, heapspray, overflow, uaf, timing) replayed
+ * against three victim insertion policies (none, full, intelligent).
+ * The unprotected column shows each PoC succeeding; the califormed
+ * columns show the security bytes converting those wins into
+ * detections, and at what probe/crash/latency cost. The base config
+ * enables the fill/spill conversion latencies so the timing side
+ * channel has a real signal to measure.
+ *
+ * This harness is the seventh CI perf anchor: the bench-baseline
+ * workflow job runs it with --quick --json and gates merges on the
+ * committed BENCH_attacks.json trajectory (see tools/bench_gate.py),
+ * alongside BENCH_hierarchy.json, BENCH_workloads.json,
+ * BENCH_multicore.json, BENCH_memlp.json, BENCH_repl.json and
+ * BENCH_fleet.json.
+ */
+
+#include "bench/common.hh"
+
+using namespace califorms;
+using bench::Options;
+
+namespace
+{
+
+/** The value a crossKey axis assigned to @p key on this variant. */
+std::string
+setValue(const exp::Variant &v, const std::string &key)
+{
+    for (const auto &[k, value] : v.sets)
+        if (k == key)
+            return value;
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    bench::banner(
+        "Red-team scenario laboratory - registered attack PoCs vs "
+        "victim insertion policies",
+        "Sec. 7.3: byte-granular blacklisting turns heap exploit "
+        "primitives into detections",
+        opt);
+
+    exp::CampaignSpec spec;
+    spec.name = "attack_scenarios";
+    for (const auto &b : securitySuite())
+        spec.suite.push_back(&b);
+    // Conversion latencies on so the timing side channel has signal;
+    // a few extra trials per cell smooth the success probabilities.
+    spec.base.machine.mem.fillConvLatency = 3;
+    spec.base.machine.mem.spillConvLatency = 5;
+    spec.base.attack.seeds = 8;
+    std::vector<exp::Variant> base = {
+        {"none", InsertionPolicy::None, 0, 0, std::nullopt, false, {}},
+        {"full", InsertionPolicy::Full, 7, 0, std::nullopt, true, {}},
+        {"intelligent", InsertionPolicy::Intelligent, 7, 0,
+         std::nullopt, true, {}}};
+    // The baseline column is a genuinely unprotected heap: no CFORMs
+    // means no intra-object spans, no inter-object guards, and no
+    // blacklisted quarantine, so every PoC shows its undefended win.
+    base[0].withSet("heap.use_cform", "false");
+    spec.variants = exp::CampaignSpec::crossKey(
+        base, "attack.scenario", attackScenarioNames());
+
+    const auto result = bench::runCampaign(opt, spec);
+
+    TextTable table({"scenario", "policy", "success_p", "detect_p",
+                     "probes", "crashes", "bytes", "detectLat"});
+    for (std::size_t v = 0; v < spec.variants.size(); ++v) {
+        const RunResult &r = result.at(0, v);
+        const double trials =
+            r.security.trials ? static_cast<double>(r.security.trials)
+                              : 1.0;
+        table.addRow(
+            {setValue(spec.variants[v], "attack.scenario"),
+             policyName(spec.variants[v].policy),
+             TextTable::num(
+                 static_cast<double>(r.security.successes) / trials, 2),
+             TextTable::num(
+                 static_cast<double>(r.security.detections) / trials,
+                 2),
+             TextTable::num(static_cast<double>(r.security.probes), 0),
+             TextTable::num(static_cast<double>(r.security.crashes), 0),
+             TextTable::num(
+                 static_cast<double>(r.security.bytesTouched), 0),
+             TextTable::num(static_cast<double>(
+                                r.security.detectionLatencyCycles),
+                            0)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf(
+        "\non the uncaliformed baseline the spray, overflow and "
+        "stale-pointer primitives\nland silently (timing finds no gap "
+        "to attack on this victim). under full/\nintelligent insertion "
+        "the same loops trip a security byte within a handful\nof "
+        "probes: success_p collapses while detect_p saturates, and "
+        "detectLat\nrecords how few cycles each attacker life had. the "
+        "exceptions prove the\npaper's point - brop still wins because "
+        "these respawns reuse one layout\n(attack.brop_rerandomize "
+        "closes it), and uaf outwaits the default quarantine\n"
+        "(heap.quarantine_fraction=1 closes that).\n");
+    return 0;
+}

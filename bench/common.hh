@@ -27,6 +27,7 @@
 #include "config/config.hh"
 #include "exp/campaign.hh"
 #include "exp/report.hh"
+#include "security/scenarios.hh"
 #include "sim/params.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
@@ -168,9 +169,20 @@ runCampaign(const Options &opt, exp::CampaignSpec spec)
     // Likewise workload.* keys when no synthetic workload is in the
     // suite to consume them.
     bool any_synth = false;
-    for (const SpecBenchmark *b : spec.suite)
+    bool any_attack = false;
+    for (const SpecBenchmark *b : spec.suite) {
         any_synth = any_synth || isSynthWorkload(b->name);
+        any_attack = any_attack || isAttackBenchmark(b->name);
+    }
     for (const auto &[key, value] : opt.cfg.entries()) {
+        if (!any_attack && key.rfind("attack.", 0) == 0) {
+            std::fprintf(stderr,
+                         "%s has no effect here (no attack replay "
+                         "benchmark in this harness's suite consumes "
+                         "attack.* knobs)\n",
+                         key.c_str());
+            std::exit(2);
+        }
         if (!any_synth && key.rfind("workload.", 0) == 0) {
             std::fprintf(stderr,
                          "%s has no effect here (no synthetic "

@@ -202,6 +202,41 @@ HeapAllocator::free(Addr addr)
     }
 }
 
+Addr
+HeapAllocator::reallocate(Addr addr, std::size_t new_count)
+{
+    auto it = live_.find(addr);
+    if (it == live_.end())
+        throw std::invalid_argument("reallocate: not a live allocation");
+    if (new_count == 0)
+        throw std::invalid_argument("reallocate: zero size");
+    const Block old = it->second;
+
+    Addr moved;
+    std::size_t copy_bytes;
+    if (old.layout) {
+        moved = allocate(old.layout, new_count);
+        copy_bytes =
+            std::min(old.payloadBytes, old.layout->size * new_count);
+    } else {
+        moved = allocateRaw(new_count);
+        copy_bytes = std::min(old.payloadBytes, new_count);
+    }
+
+    // The instrumented memcpy skips the intra-object security bytes
+    // (identical in both blocks: same layout); functional peek/poke —
+    // the library copy is whitelisted, so no timing or exceptions.
+    for (std::size_t i = 0; i < copy_bytes; ++i) {
+        if (old.layout &&
+            old.layout->isSecurityByte(i % old.layout->size))
+            continue;
+        machine_.pokeByte(moved + i, machine_.peekByte(addr + i));
+    }
+
+    free(addr);
+    return moved;
+}
+
 bool
 HeapAllocator::isLive(Addr addr) const
 {

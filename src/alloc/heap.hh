@@ -83,6 +83,16 @@ class HeapAllocator
      */
     void free(Addr addr);
 
+    /**
+     * Grow/shrink a live block, like realloc: allocate a new block of
+     * @p new_count elements (or @p new_count bytes for raw blocks),
+     * copy the common payload prefix, and free the old block into the
+     * quarantine. The copy models the instrumented library memcpy of
+     * Section 6.2: it walks only data bytes, so no exception fires.
+     * Returns the new address; the old one becomes a stale pointer.
+     */
+    Addr reallocate(Addr addr, std::size_t new_count);
+
     /** True if @p addr is inside a live allocation's payload. */
     bool isLive(Addr addr) const;
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "layout/policy.hh"
+#include "security/scenarios.hh"
+#include "security/victims.hh"
 #include "util/jsonout.hh"
 #include "util/parse.hh"
 
@@ -748,6 +750,68 @@ ParamRegistry::ParamRegistry()
         [](RunConfig &rc, std::uint64_t v) {
             rc.fleet.tenantSeedStride = v;
         }));
+
+    // ----------------------------------------------------------------
+    // attack.* — red-team scenario suite (AttackParams; only the
+    // attack replay benchmark and `califorms attack` consume these).
+    // ----------------------------------------------------------------
+    specs_.push_back(enumKnob(
+        "attack.scenario", attackScenarioNames(), "",
+        "which registered attack scenario the replay runs",
+        [](const RunConfig &rc) { return rc.attack.scenario; },
+        [](RunConfig &rc, const std::string &v) {
+            rc.attack.scenario = v;
+        }));
+    specs_.push_back(enumKnob(
+        "attack.victim", attackVictimNames(), "",
+        "victim struct from the named corpus (security/victims)",
+        [](const RunConfig &rc) { return rc.attack.victim; },
+        [](RunConfig &rc, const std::string &v) {
+            rc.attack.victim = v;
+        }));
+    specs_.push_back(uintKnob(
+        "attack.seeds", 1, 1u << 16, "",
+        "independent attacker/layout trials per run unit",
+        [](const RunConfig &rc) { return rc.attack.seeds; },
+        [](RunConfig &rc, std::uint64_t v) { rc.attack.seeds = v; }));
+    specs_.push_back(uintKnob(
+        "attack.objects", 1, 1u << 16, "--objects",
+        "victim heap population for scan/probe",
+        [](const RunConfig &rc) { return rc.attack.objects; },
+        [](RunConfig &rc, std::uint64_t v) { rc.attack.objects = v; }));
+    specs_.push_back(uintKnob(
+        "attack.crash_budget", 0, 1u << 20, "--crashes",
+        "respawns the attacker may consume before giving up",
+        [](const RunConfig &rc) { return rc.attack.crashBudget; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.attack.crashBudget = v;
+        }));
+    specs_.push_back(uintKnob(
+        "attack.probe_budget", 1, 1u << 24, "",
+        "probe budget for the blind random-probe scenario",
+        [](const RunConfig &rc) { return rc.attack.probeBudget; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.attack.probeBudget = v;
+        }));
+    specs_.push_back(uintKnob(
+        "attack.spray_count", 2, 1u << 12, "",
+        "attacker allocations sprayed around the victim (heapspray)",
+        [](const RunConfig &rc) { return rc.attack.sprayCount; },
+        [](RunConfig &rc, std::uint64_t v) {
+            rc.attack.sprayCount = v;
+        }));
+    specs_.push_back(uintKnob(
+        "attack.uaf_churn", 1, 1u << 16, "",
+        "allocate/free rounds pushing freed chunks through the "
+        "quarantine (uaf)",
+        [](const RunConfig &rc) { return rc.attack.uafChurn; },
+        [](RunConfig &rc, std::uint64_t v) { rc.attack.uafChurn = v; }));
+    specs_.push_back(boolKnob(
+        "attack.brop_rerandomize",
+        "re-randomize the victim layout on every BROP respawn (the "
+        "paper's mitigation)",
+        [](const RunConfig &rc) { return rc.attack.bropRerandomize; },
+        [](RunConfig &rc, bool v) { rc.attack.bropRerandomize = v; }));
 
     // Defaults are captured from a default RunConfig through each
     // spec's own accessor: the registry cannot disagree with the

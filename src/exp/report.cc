@@ -154,6 +154,24 @@ runJson(std::ostringstream &os, const RunUnit &unit,
         }
         os << "}";
     }
+    // Attack replay runs carry the scenario rollup; every other
+    // benchmark leaves trials at 0 and omits the block under the same
+    // byte-identity convention.
+    if (schema == ReportSchema::V2 && r.security.trials > 0) {
+        os << ",\n     \"security\": {\"scenario\": "
+           << jsonString(r.security.scenario)
+           << ", \"trials\": " << u64(r.security.trials)
+           << ", \"successes\": " << u64(r.security.successes)
+           << ", \"successProbability\": "
+           << jsonNumber(static_cast<double>(r.security.successes) /
+                         static_cast<double>(r.security.trials))
+           << ", \"detections\": " << u64(r.security.detections)
+           << ", \"probes\": " << u64(r.security.probes)
+           << ", \"bytesTouched\": " << u64(r.security.bytesTouched)
+           << ", \"crashes\": " << u64(r.security.crashes)
+           << ", \"detectionLatencyCycles\": "
+           << u64(r.security.detectionLatencyCycles) << "}";
+    }
     os << ",\n     \"heap\": {\"allocs\": " << u64(r.heap.allocs)
        << ", \"frees\": " << u64(r.heap.frees)
        << ", \"reuses\": " << u64(r.heap.reuses)

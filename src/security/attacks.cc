@@ -44,13 +44,15 @@ AttackSimulator::randomProbes(const std::vector<Addr> &objects,
 BropResult
 AttackSimulator::bropAttack(const StructDef &def, InsertionPolicy policy,
                             PolicyParams params, std::size_t target_field,
-                            std::size_t max_crashes, bool rerandomize)
+                            std::size_t max_crashes, bool rerandomize,
+                            HeapParams heap_params)
 {
     BropResult result;
     std::set<std::size_t> known_crash_offsets;
     std::uint64_t victim_seed = rng_.next();
+    const std::uint64_t start_cycles = machine_.cycles();
 
-    HeapAllocator heap(machine_);
+    HeapAllocator heap(machine_, heap_params);
     while (result.crashes <= max_crashes) {
         // (Re)spawn the victim.
         LayoutTransformer t(policy, params,
@@ -74,6 +76,9 @@ AttackSimulator::bropAttack(const StructDef &def, InsertionPolicy policy,
             ++result.probes;
             if (machine_.exceptions().deliveredCount() > before) {
                 crashed = true;
+                if (result.crashes == 0)
+                    result.firstDetectionCycles =
+                        machine_.cycles() - start_cycles;
                 if (!rerandomize)
                     known_crash_offsets.insert(off);
                 break;

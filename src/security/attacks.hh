@@ -55,6 +55,9 @@ struct BropResult
     bool succeeded = false;   //!< attacker reached the target field
     std::size_t crashes = 0;  //!< victim respawns consumed
     std::size_t probes = 0;   //!< total probe writes issued
+    /** Machine cycles from attack start to the first crash (0 if the
+     *  attacker never crashed). */
+    std::uint64_t firstDetectionCycles = 0;
 };
 
 /**
@@ -89,7 +92,8 @@ class AttackSimulator
      */
     BropResult bropAttack(const StructDef &def, InsertionPolicy policy,
                           PolicyParams params, std::size_t target_field,
-                          std::size_t max_crashes, bool rerandomize);
+                          std::size_t max_crashes, bool rerandomize,
+                          HeapParams heap_params = {});
 
   private:
     Machine &machine_;

@@ -1,0 +1,62 @@
+/**
+ * @file scenario_params.hh
+ * Knobs and counters of the pluggable attack-scenario suite.
+ *
+ * AttackParams carries the `attack.*` registry keys into a run;
+ * SecurityRunStats is the uniform result every scenario emits, rolled
+ * up over the trial seeds of one run unit. Both are dependency-free so
+ * the workload context and the config registry can see them without
+ * pulling in the scenario implementations.
+ */
+
+#ifndef CALIFORMS_SECURITY_SCENARIO_PARAMS_HH
+#define CALIFORMS_SECURITY_SCENARIO_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace califorms
+{
+
+/** The `attack.*` registry keys (see src/config/registry.cc). */
+struct AttackParams
+{
+    /** Which registered scenario the attack benchmark replays. */
+    std::string scenario = "scan";
+    /** Victim struct drawn from the named corpus (security/victims). */
+    std::string victim = "session";
+    /** Independent attacker/layout trials per run unit. */
+    std::uint64_t seeds = 5;
+    /** Victim heap population for scan/probe. */
+    std::uint64_t objects = 64;
+    /** Respawns the attacker may consume before giving up. */
+    std::uint64_t crashBudget = 4096;
+    /** Probe budget for the blind random-probe attack. */
+    std::uint64_t probeBudget = 100000;
+    /** Attacker allocations sprayed around the victim (heapspray). */
+    std::uint64_t sprayCount = 32;
+    /** Allocate/free rounds pushing freed chunks through the
+     *  quarantine (uaf). */
+    std::uint64_t uafChurn = 64;
+    /** Re-randomize the victim layout on every respawn (brop). */
+    bool bropRerandomize = false;
+};
+
+/** Uniform per-run-unit security counters (v2 "security" block). */
+struct SecurityRunStats
+{
+    std::string scenario;
+    std::uint64_t trials = 0;
+    std::uint64_t successes = 0;  //!< trials where the attacker won
+    std::uint64_t detections = 0; //!< trials with >= 1 detection
+    std::uint64_t probes = 0;
+    std::uint64_t bytesTouched = 0;
+    std::uint64_t crashes = 0;
+    /** Machine cycles from attacker start to first detection, summed
+     *  over detected trials. */
+    std::uint64_t detectionLatencyCycles = 0;
+};
+
+} // namespace califorms
+
+#endif // CALIFORMS_SECURITY_SCENARIO_PARAMS_HH

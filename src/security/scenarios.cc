@@ -1,0 +1,530 @@
+#include "security/scenarios.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "security/attacks.hh"
+#include "security/victims.hh"
+#include "util/rng.hh"
+
+namespace califorms
+{
+
+namespace
+{
+
+/** Each trial gets a disjoint heap arena: fresh CFORM state from a
+ *  fresh address range, so trials are independent without resetting
+ *  the machine. */
+constexpr Addr trialArenaBytes = Addr{1} << 28;
+
+std::shared_ptr<const SecureLayout>
+layoutFor(const ScenarioContext &c)
+{
+    LayoutTransformer t(c.policy, c.policyParams, c.layoutSeed);
+    return std::make_shared<SecureLayout>(t.transform(c.victim));
+}
+
+std::size_t
+delivered(const ScenarioContext &c)
+{
+    return c.machine.exceptions().deliveredCount();
+}
+
+/** Record the first detection's latency and charge a crash. */
+void
+noteDetection(ScenarioTrial &t, const ScenarioContext &c,
+              std::uint64_t start_cycles)
+{
+    if (!t.detected) {
+        t.detected = true;
+        t.detectionLatencyCycles = c.machine.cycles() - start_cycles;
+    }
+    ++t.crashes;
+}
+
+// --- scan: sweep the victim heap byte by byte ----------------------------
+
+class ScanScenario final : public AttackScenario
+{
+  public:
+    const char *name() const override { return "scan"; }
+    const char *
+    summary() const override
+    {
+        return "linear sweep over the victim heap; detection time is "
+               "geometric in the security-byte density";
+    }
+
+    ScenarioTrial
+    run(ScenarioContext &c) const override
+    {
+        auto layout = layoutFor(c);
+        const Addr base = c.heap.allocate(layout, c.params.objects);
+
+        AttackSimulator attacker(c.machine, c.attackerSeed);
+        const std::uint64_t c0 = c.machine.cycles();
+        const auto r =
+            attacker.linearScan(base, c.params.objects * layout->size);
+
+        ScenarioTrial t;
+        t.detected = r.detected;
+        t.success = !r.detected;
+        t.bytesTouched = r.bytesScanned;
+        t.probes = r.bytesScanned + (r.detected ? 1 : 0);
+        if (r.detected) {
+            t.crashes = 1;
+            t.detectionLatencyCycles = c.machine.cycles() - c0;
+        }
+        return t;
+    }
+};
+
+// --- probe: blind random guessing ----------------------------------------
+
+class ProbeScenario final : public AttackScenario
+{
+  public:
+    const char *name() const override { return "probe"; }
+    const char *
+    summary() const override
+    {
+        return "blind random (object, offset) probing; survival of O "
+               "probes follows (1 - P/N)^O";
+    }
+
+    ScenarioTrial
+    run(ScenarioContext &c) const override
+    {
+        auto layout = layoutFor(c);
+        std::vector<Addr> objs;
+        objs.reserve(c.params.objects);
+        for (std::uint64_t i = 0; i < c.params.objects; ++i)
+            objs.push_back(c.heap.allocate(layout));
+
+        AttackSimulator attacker(c.machine, c.attackerSeed);
+        const std::uint64_t c0 = c.machine.cycles();
+        const auto r = attacker.randomProbes(objs, layout->size,
+                                             c.params.probeBudget);
+
+        ScenarioTrial t;
+        t.detected = r.detected;
+        t.success = !r.detected;
+        t.probes = r.probes;
+        t.bytesTouched = r.probes;
+        if (r.detected) {
+            t.crashes = 1;
+            t.detectionLatencyCycles = c.machine.cycles() - c0;
+        }
+        return t;
+    }
+};
+
+// --- brop: respawning victim, accumulated crash knowledge ----------------
+
+class BropScenario final : public AttackScenario
+{
+  public:
+    const char *name() const override { return "brop"; }
+    const char *
+    summary() const override
+    {
+        return "BROP-style respawn attack; attack.brop_rerandomize "
+               "re-randomizes the layout on every respawn (the paper's "
+               "mitigation)";
+    }
+
+    ScenarioTrial
+    run(ScenarioContext &c) const override
+    {
+        AttackSimulator attacker(c.machine, c.attackerSeed);
+        const auto r = attacker.bropAttack(
+            c.victim, c.policy, c.policyParams, c.targetField,
+            c.params.crashBudget, c.params.bropRerandomize,
+            c.heapParams);
+
+        ScenarioTrial t;
+        t.success = r.succeeded;
+        t.detected = r.crashes > 0;
+        t.crashes = r.crashes;
+        t.probes = r.probes;
+        t.bytesTouched = r.probes;
+        t.detectionLatencyCycles = r.firstDetectionCycles;
+        return t;
+    }
+};
+
+// --- heapspray: colocate attacker buffers, overflow into the victim ------
+
+class HeapSprayScenario final : public AttackScenario
+{
+  public:
+    const char *name() const override { return "heapspray"; }
+    const char *
+    summary() const override
+    {
+        return "spray attacker buffers to colocate next to the victim, "
+               "then overflow each one forward toward the target field";
+    }
+
+    ScenarioTrial
+    run(ScenarioContext &c) const override
+    {
+        auto layout = layoutFor(c);
+        Rng rng(c.attackerSeed);
+
+        // The victim lands at a random slot inside the spray, so the
+        // attacker does not know which of its buffers is the neighbor.
+        const std::uint64_t spray =
+            std::max<std::uint64_t>(2, c.params.sprayCount);
+        const std::uint64_t victim_pos = 1 + rng.nextBelow(spray - 1);
+        constexpr std::size_t bufBytes = 64;
+
+        std::vector<Addr> sprayed;
+        sprayed.reserve(spray);
+        Addr victim_addr = 0;
+        for (std::uint64_t i = 0; i <= spray; ++i) {
+            if (i == victim_pos)
+                victim_addr = c.heap.allocate(layout);
+            else
+                sprayed.push_back(c.heap.allocateRaw(bufBytes));
+        }
+        const Addr target =
+            victim_addr + layout->fields.at(c.targetField).offset;
+
+        // Far enough to cross the neighbor gap (rear pad + guards +
+        // front pad) and reach any field of the adjacent object.
+        const std::size_t reach = layout->size + 4 * lineBytes;
+
+        ScenarioTrial t;
+        const std::uint64_t c0 = c.machine.cycles();
+        for (const Addr buf : sprayed) {
+            if (t.crashes > c.params.crashBudget)
+                break;
+            const std::size_t before = delivered(c);
+            for (std::size_t off = bufBytes; off < bufBytes + reach;
+                 ++off) {
+                c.machine.store(buf + off, 1, 0x41);
+                ++t.probes;
+                ++t.bytesTouched;
+                if (delivered(c) > before) {
+                    // This attacker life crashed; respawn and try the
+                    // next sprayed buffer.
+                    noteDetection(t, c, c0);
+                    break;
+                }
+                if (buf + off == target) {
+                    t.success = true;
+                    return t;
+                }
+            }
+        }
+        return t;
+    }
+};
+
+// --- overflow: buffer overrun into the adjacent califormed object --------
+
+class OverflowScenario final : public AttackScenario
+{
+  public:
+    const char *name() const override { return "overflow"; }
+    const char *
+    summary() const override
+    {
+        return "linear overrun from an attacker buffer into the "
+               "adjacent califormed object's target field";
+    }
+
+    ScenarioTrial
+    run(ScenarioContext &c) const override
+    {
+        auto layout = layoutFor(c);
+        constexpr std::size_t bufBytes = 64;
+        const Addr buf = c.heap.allocateRaw(bufBytes);
+        const Addr victim_addr = c.heap.allocate(layout);
+        const Addr target =
+            victim_addr + layout->fields.at(c.targetField).offset;
+
+        ScenarioTrial t;
+        const std::uint64_t c0 = c.machine.cycles();
+        const std::size_t before = delivered(c);
+        // The attacker legitimately fills its own buffer, then keeps
+        // writing: off the end, across the inter-object gap, into the
+        // victim — the classic contiguous overrun.
+        for (Addr a = buf; a <= target; ++a) {
+            c.machine.store(a, 1, 0x41);
+            ++t.probes;
+            ++t.bytesTouched;
+            if (delivered(c) > before) {
+                noteDetection(t, c, c0);
+                break;
+            }
+            if (a == target) {
+                t.success = true;
+                break;
+            }
+        }
+        return t;
+    }
+};
+
+// --- uaf: probe a stale pointer while the chunk recycles -----------------
+
+class UafScenario final : public AttackScenario
+{
+  public:
+    const char *name() const override { return "uaf"; }
+    const char *
+    summary() const override
+    {
+        return "use-after-free probing of a realloc'd chunk while "
+               "churn pushes it through the quarantine into reuse";
+    }
+
+    ScenarioTrial
+    run(ScenarioContext &c) const override
+    {
+        auto layout = layoutFor(c);
+
+        // Ballast raises the heap high-water mark so the quarantine
+        // limit (a fraction of peak) is meaningful.
+        std::vector<Addr> ballast;
+        for (int i = 0; i < 8; ++i)
+            ballast.push_back(c.heap.allocate(layout));
+
+        // The program grows its table: realloc moves it, the old chunk
+        // is freed (fully califormed) into the quarantine — but the
+        // attacker kept the old pointer.
+        const Addr victim_addr = c.heap.allocate(layout);
+        c.heap.reallocate(victim_addr, 2);
+        const Addr stale =
+            victim_addr + layout->fields.at(0).offset;
+
+        ScenarioTrial t;
+        const std::uint64_t c0 = c.machine.cycles();
+        for (std::uint64_t i = 0;
+             i < c.params.uafChurn && t.crashes <= c.params.crashBudget;
+             ++i) {
+            // Churn: allocate/free pushes the quarantine over its
+            // limit, recycling the victim chunk to the free list, from
+            // where an allocation hands it to a new owner.
+            const Addr churned = c.heap.allocate(layout);
+            const std::size_t before = delivered(c);
+            c.machine.load(stale, 1);
+            ++t.probes;
+            ++t.bytesTouched;
+            if (delivered(c) > before) {
+                noteDetection(t, c, c0);
+            } else if (c.heap.isLive(stale)) {
+                // Undetected read of another owner's live data.
+                t.success = true;
+                break;
+            }
+            c.heap.free(churned);
+        }
+        return t;
+    }
+};
+
+// --- timing: infer sentinel placement from conversion latency ------------
+
+class TimingScenario final : public AttackScenario
+{
+  public:
+    const char *name() const override { return "timing"; }
+    const char *
+    summary() const override
+    {
+        return "time per-line fills through the MSHR/DRAM machine; "
+               "lines slowed by fill conversion carry sentinels, so "
+               "probe only gaps on lines that time clean";
+    }
+
+    ScenarioTrial
+    run(ScenarioContext &c) const override
+    {
+        auto layout = layoutFor(c);
+        const Addr obj = c.heap.allocate(layout);
+
+        ScenarioTrial t;
+        // Phase 1: legitimate, in-bounds loads of the object's own
+        // fields, each from a cold cache. On a timed machine a
+        // califormed line pays the fill-conversion latency, so the
+        // attacker learns which lines carry sentinels without ever
+        // touching one.
+        std::map<std::size_t, std::uint64_t> line_latency;
+        for (const FieldLayout &f : layout->fields) {
+            c.machine.flushAll();
+            const std::uint64_t c0 = c.machine.cycles();
+            c.machine.load(obj + f.offset, 1);
+            ++t.probes;
+            const std::uint64_t lat = c.machine.cycles() - c0;
+            const std::size_t line = f.offset / lineBytes;
+            auto it = line_latency.find(line);
+            if (it == line_latency.end() || lat < it->second)
+                line_latency[line] = lat;
+        }
+        std::uint64_t fastest = ~std::uint64_t{0};
+        for (const auto &[line, lat] : line_latency)
+            fastest = std::min(fastest, lat);
+
+        // Phase 2: probe one inter-field gap the timing classified as
+        // clean; fall back to the first gap if nothing timed clean
+        // (an untimed machine leaks nothing, so the attacker guesses).
+        const std::uint64_t c0 = c.machine.cycles();
+        const std::size_t before = delivered(c);
+        const Addr probe_at = pickGap(*layout, line_latency, fastest);
+        if (probe_at == layout->size)
+            return t; // layout has no inter-field gap to attack
+        c.machine.store(obj + probe_at, 1, 0x41);
+        ++t.probes;
+        ++t.bytesTouched;
+        if (delivered(c) > before)
+            noteDetection(t, c, c0);
+        else
+            t.success = true;
+        return t;
+    }
+
+  private:
+    /** First gap whose line timed clean, else the first gap at all;
+     *  layout->size if the layout has no inter-field gaps. */
+    static std::size_t
+    pickGap(const SecureLayout &layout,
+            const std::map<std::size_t, std::uint64_t> &line_latency,
+            std::uint64_t fastest)
+    {
+        std::size_t first_gap = layout.size;
+        for (std::size_t f = 0; f + 1 < layout.fields.size(); ++f) {
+            const std::size_t gap_off =
+                layout.fields[f].offset + layout.fields[f].size;
+            if (layout.fields[f + 1].offset <= gap_off)
+                continue;
+            if (first_gap == layout.size)
+                first_gap = gap_off;
+            const auto it = line_latency.find(gap_off / lineBytes);
+            if (it != line_latency.end() && it->second <= fastest)
+                return gap_off;
+        }
+        return first_gap;
+    }
+};
+
+const ScanScenario scanScenario;
+const ProbeScenario probeScenario;
+const BropScenario bropScenario;
+const HeapSprayScenario heapSprayScenario;
+const OverflowScenario overflowScenario;
+const UafScenario uafScenario;
+const TimingScenario timingScenario;
+
+/** The attack replay benchmark: run the configured scenario's trials
+ *  and publish the rollup as the run's security counters. */
+void
+attackKernel(KernelContext &ctx)
+{
+    const std::size_t trials = ctx.n(
+        static_cast<std::size_t>(std::max<std::uint64_t>(
+            1, ctx.attack().seeds)));
+    ctx.securityResult() = runAttackTrials(
+        ctx.machine(), ctx.heap().params(), ctx.layoutPolicy(),
+        ctx.layoutParams(), ctx.layoutSeed(), ctx.attack(), trials);
+}
+
+} // namespace
+
+const std::vector<const AttackScenario *> &
+attackScenarios()
+{
+    static const std::vector<const AttackScenario *> all{
+        &scanScenario,     &probeScenario, &bropScenario,
+        &heapSprayScenario, &overflowScenario, &uafScenario,
+        &timingScenario,
+    };
+    return all;
+}
+
+const std::vector<std::string> &
+attackScenarioNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const AttackScenario *s : attackScenarios())
+            n.emplace_back(s->name());
+        return n;
+    }();
+    return names;
+}
+
+const AttackScenario &
+findAttackScenario(const std::string &name)
+{
+    for (const AttackScenario *s : attackScenarios())
+        if (name == s->name())
+            return *s;
+    std::string msg = "unknown attack scenario '" + name +
+                      "' (expected one of";
+    for (const auto &n : attackScenarioNames())
+        msg += " " + n;
+    msg += ")";
+    throw std::invalid_argument(msg);
+}
+
+SecurityRunStats
+runAttackTrials(Machine &machine, const HeapParams &heap_params,
+                InsertionPolicy policy, PolicyParams policy_params,
+                std::uint64_t layout_seed, const AttackParams &params,
+                std::size_t trials)
+{
+    const AttackScenario &scenario = findAttackScenario(params.scenario);
+    const StructDefPtr victim = attackVictim(params.victim);
+    const std::size_t target = attackTargetField(*victim);
+
+    SecurityRunStats out;
+    out.scenario = scenario.name();
+    for (std::size_t t = 0; t < trials; ++t) {
+        // Golden-ratio stride decorrelates trials across adjacent
+        // campaign layout seeds.
+        const std::uint64_t seed =
+            layout_seed + 0x9e3779b97f4a7c15ull * (t + 1);
+        HeapParams hp = heap_params;
+        hp.heapBase =
+            heap_params.heapBase + trialArenaBytes * (t + 1);
+        HeapAllocator heap(machine, hp);
+
+        ScenarioContext c{machine,       heap,   hp,
+                          *victim,       target, policy,
+                          policy_params, seed,   seed,
+                          params};
+        const ScenarioTrial trial = scenario.run(c);
+
+        ++out.trials;
+        out.successes += trial.success ? 1 : 0;
+        out.detections += trial.detected ? 1 : 0;
+        out.probes += trial.probes;
+        out.bytesTouched += trial.bytesTouched;
+        out.crashes += trial.crashes;
+        out.detectionLatencyCycles += trial.detectionLatencyCycles;
+    }
+    return out;
+}
+
+const std::vector<SpecBenchmark> &
+securitySuite()
+{
+    static const std::vector<SpecBenchmark> suite{
+        {"attack", /*inSoftwareEval=*/false, attackKernel},
+    };
+    return suite;
+}
+
+bool
+isAttackBenchmark(const std::string &name)
+{
+    return name == "attack";
+}
+
+} // namespace califorms

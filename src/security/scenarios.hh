@@ -1,0 +1,110 @@
+/**
+ * @file scenarios.hh
+ * Pluggable attack scenarios (the Section 7.3 red-team suite).
+ *
+ * Each scenario owns one attacker loop against a califormed victim on
+ * a simulated machine and emits a uniform ScenarioTrial: did the
+ * attacker win, was the attack detected, how many probes/bytes/crashes
+ * did it cost, and how many machine cycles passed before the first
+ * detection. The registry makes scenarios selectable by name
+ * (`attack.scenario`), sweepable as a campaign axis, and reusable from
+ * the CLI, the benches, and the tests — the same playbook as the
+ * replacement-policy laboratory in src/sim/repl/.
+ *
+ * Threat model (unchanged from security/attacks.hh): the attacker has
+ * arbitrary read/write primitives and source-level struct knowledge,
+ * but not the realized random security-byte layout. Every touch of a
+ * security byte is a detection; under continuous monitoring that is a
+ * crash, and scenarios with respawn semantics charge it against a
+ * crash budget.
+ */
+
+#ifndef CALIFORMS_SECURITY_SCENARIOS_HH
+#define CALIFORMS_SECURITY_SCENARIOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/heap.hh"
+#include "layout/policy.hh"
+#include "security/scenario_params.hh"
+#include "workload/kernels.hh"
+
+namespace califorms
+{
+
+/** Everything one scenario trial needs. */
+struct ScenarioContext
+{
+    Machine &machine;
+    /** Per-trial heap arena the victim (and attacker spray) live in. */
+    HeapAllocator &heap;
+    /** Heap knobs for scenarios that spawn their own allocator
+     *  (brop's respawning victim). */
+    HeapParams heapParams;
+    const StructDef &victim;
+    std::size_t targetField;
+    InsertionPolicy policy;
+    PolicyParams policyParams;
+    std::uint64_t layoutSeed;
+    std::uint64_t attackerSeed;
+    const AttackParams &params;
+};
+
+/** Uniform outcome of one scenario trial. */
+struct ScenarioTrial
+{
+    bool success = false;  //!< attacker reached its goal undetected
+    bool detected = false; //!< >= 1 security byte tripped
+    std::uint64_t probes = 0;
+    std::uint64_t bytesTouched = 0;
+    std::uint64_t crashes = 0;
+    /** Machine cycles from attacker start to first detection. */
+    std::uint64_t detectionLatencyCycles = 0;
+};
+
+/** One registered end-to-end attack PoC. */
+class AttackScenario
+{
+  public:
+    virtual ~AttackScenario() = default;
+    virtual const char *name() const = 0;
+    virtual const char *summary() const = 0;
+    virtual ScenarioTrial run(ScenarioContext &ctx) const = 0;
+};
+
+/** All registered scenarios, in registration order. */
+const std::vector<const AttackScenario *> &attackScenarios();
+
+/** Registered scenario names, in registration order. */
+const std::vector<std::string> &attackScenarioNames();
+
+/** Look up a scenario by name (throws listing candidates). */
+const AttackScenario &findAttackScenario(const std::string &name);
+
+/**
+ * Roll up @p trials independent trials of the configured scenario.
+ * Trial t derives its layout/attacker seed from @p layout_seed and
+ * runs in its own heap arena (disjoint address range), so trials are
+ * independent and the whole rollup is deterministic at any job count.
+ */
+SecurityRunStats runAttackTrials(Machine &machine,
+                                 const HeapParams &heap_params,
+                                 InsertionPolicy policy,
+                                 PolicyParams policy_params,
+                                 std::uint64_t layout_seed,
+                                 const AttackParams &params,
+                                 std::size_t trials);
+
+/** The campaign-facing suite: the single "attack" benchmark whose
+ *  kernel replays `attack.scenario` and fills the run's security
+ *  counters. */
+const std::vector<SpecBenchmark> &securitySuite();
+
+/** True if @p name is the attack replay benchmark. */
+bool isAttackBenchmark(const std::string &name);
+
+} // namespace califorms
+
+#endif // CALIFORMS_SECURITY_SCENARIOS_HH

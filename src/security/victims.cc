@@ -1,0 +1,92 @@
+#include "security/victims.hh"
+
+#include <memory>
+#include <stdexcept>
+
+namespace califorms
+{
+
+namespace
+{
+
+/** A session record whose token buffer sits next to the privilege
+ *  flag the attacker wants to flip. */
+StructDefPtr
+sessionVictim()
+{
+    return std::make_shared<StructDef>(
+        "session", std::vector<Field>{
+                       {"id", Type::longType()},
+                       {"token", Type::array(Type::charType(), 24)},
+                       {"handler", Type::functionPointer()},
+                       {"privileged", Type::charType()},
+                   });
+}
+
+/** A parsed packet header: the payload buffer precedes the dispatch
+ *  pointer the attacker wants to redirect. */
+StructDefPtr
+packetVictim()
+{
+    return std::make_shared<StructDef>(
+        "packet", std::vector<Field>{
+                      {"src", Type::intType()},
+                      {"dst", Type::intType()},
+                      {"len", Type::shortType()},
+                      {"proto", Type::charType()},
+                      {"payload", Type::array(Type::charType(), 40)},
+                      {"dispatch", Type::functionPointer()},
+                  });
+}
+
+/** An inode-like record: the name buffer precedes the permission
+ *  bits the attacker wants to widen. */
+StructDefPtr
+inodeVictim()
+{
+    return std::make_shared<StructDef>(
+        "inode", std::vector<Field>{
+                     {"ino", Type::longType()},
+                     {"nlink", Type::intType()},
+                     {"uid", Type::intType()},
+                     {"gid", Type::intType()},
+                     {"size", Type::longType()},
+                     {"name", Type::array(Type::charType(), 28)},
+                     {"mode", Type::intType()},
+                 });
+}
+
+} // namespace
+
+const std::vector<std::string> &
+attackVictimNames()
+{
+    static const std::vector<std::string> names{"session", "packet",
+                                                "inode"};
+    return names;
+}
+
+StructDefPtr
+attackVictim(const std::string &name)
+{
+    if (name == "session")
+        return sessionVictim();
+    if (name == "packet")
+        return packetVictim();
+    if (name == "inode")
+        return inodeVictim();
+    std::string msg = "unknown attack victim '" + name +
+                      "' (expected one of";
+    for (const auto &n : attackVictimNames())
+        msg += " " + n;
+    msg += ")";
+    throw std::invalid_argument(msg);
+}
+
+std::size_t
+attackTargetField(const StructDef &def)
+{
+    return def.fields().size() - 1;
+}
+
+} // namespace califorms

@@ -1,0 +1,34 @@
+/**
+ * @file victims.hh
+ * The named victim-struct corpus the attack scenarios target.
+ *
+ * Each victim is a realistic kernel/server object whose last field is
+ * the one the attacker wants to corrupt (a privilege flag, a dispatch
+ * pointer, permission bits), preceded by an attacker-reachable buffer.
+ * Selected via the `attack.victim` registry key and shared between the
+ * CLI, the campaign benchmark, and the tests.
+ */
+
+#ifndef CALIFORMS_SECURITY_VICTIMS_HH
+#define CALIFORMS_SECURITY_VICTIMS_HH
+
+#include <string>
+#include <vector>
+
+#include "layout/type.hh"
+
+namespace califorms
+{
+
+/** Registered victim names, in registration order. */
+const std::vector<std::string> &attackVictimNames();
+
+/** Look up a victim struct by name (throws listing candidates). */
+StructDefPtr attackVictim(const std::string &name);
+
+/** Index of the field the attacker wants to write (the last one). */
+std::size_t attackTargetField(const StructDef &def);
+
+} // namespace califorms
+
+#endif // CALIFORMS_SECURITY_VICTIMS_HH

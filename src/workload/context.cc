@@ -9,10 +9,12 @@ KernelContext::KernelContext(Machine &machine, HeapAllocator &heap,
                              StackAllocator &stack,
                              LayoutTransformer transformer,
                              std::uint64_t kernel_seed, double scale,
-                             SynthParams synth)
+                             SynthParams synth, AttackParams attack,
+                             std::uint64_t layout_seed)
     : machine_(machine), heap_(heap), stack_(stack),
       transformer_(std::move(transformer)), rng_(kernel_seed),
-      scale_(scale), synth_(synth)
+      scale_(scale), synth_(synth), attack_(std::move(attack)),
+      layoutSeed_(layout_seed)
 {
 }
 

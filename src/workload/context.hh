@@ -21,6 +21,7 @@
 #include "alloc/heap.hh"
 #include "alloc/stack.hh"
 #include "layout/policy.hh"
+#include "security/scenario_params.hh"
 #include "sim/machine.hh"
 #include "util/rng.hh"
 #include "workload/synth_params.hh"
@@ -34,7 +35,8 @@ class KernelContext
     KernelContext(Machine &machine, HeapAllocator &heap,
                   StackAllocator &stack, LayoutTransformer transformer,
                   std::uint64_t kernel_seed, double scale,
-                  SynthParams synth = {});
+                  SynthParams synth = {}, AttackParams attack = {},
+                  std::uint64_t layout_seed = 0);
 
     Machine &machine() { return machine_; }
     HeapAllocator &heap() { return heap_; }
@@ -45,6 +47,23 @@ class KernelContext
     /** Knobs of the synthetic workload generators (workload.* keys);
      *  the SPEC-like kernels ignore them. */
     const SynthParams &synth() const { return synth_; }
+
+    /** Knobs of the attack scenarios (attack.* keys); only the attack
+     *  replay benchmark consumes them. */
+    const AttackParams &attack() const { return attack_; }
+
+    /** The run's layout configuration, exposed so the attack kernel
+     *  can respawn victims under per-trial seeds. */
+    InsertionPolicy layoutPolicy() const { return transformer_.policy(); }
+    const PolicyParams &layoutParams() const
+    {
+        return transformer_.params();
+    }
+    std::uint64_t layoutSeed() const { return layoutSeed_; }
+
+    /** Security counters the attack kernel publishes (empty for every
+     *  other benchmark, keeping their reports byte-identical). */
+    SecurityRunStats &securityResult() { return security_; }
 
     /** Scale an iteration count by the context's work multiplier. */
     std::size_t
@@ -76,6 +95,9 @@ class KernelContext
     Rng rng_;
     double scale_;
     SynthParams synth_;
+    AttackParams attack_;
+    std::uint64_t layoutSeed_;
+    SecurityRunStats security_;
     std::unordered_map<const StructDef *,
                        std::shared_ptr<const SecureLayout>>
         layoutCache_;

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "security/scenarios.hh"
 #include "workload/primitives.hh"
 #include "workload/synth.hh"
 
@@ -546,6 +547,11 @@ findBenchmark(const std::string &name)
         if (b.name == name)
             return b;
     for (const auto &b : adversarialSuite())
+        if (b.name == name)
+            return b;
+    // The attack replay (security/scenarios.hh) is a benchmark too:
+    // it runs the attack.scenario trials and fills the security block.
+    for (const auto &b : securitySuite())
         if (b.name == name)
             return b;
     throw std::invalid_argument("unknown benchmark: " + name);

@@ -30,7 +30,8 @@ runBenchmark(const SpecBenchmark &bench, const RunConfig &config)
     LayoutTransformer transformer(config.policy, config.policyParams,
                                   config.layoutSeed);
     KernelContext ctx(machine, heap, stack, std::move(transformer),
-                      config.kernelSeed, config.scale, config.synth);
+                      config.kernelSeed, config.scale, config.synth,
+                      config.attack, config.layoutSeed);
 
     bench.run(ctx);
 
@@ -42,6 +43,7 @@ runBenchmark(const SpecBenchmark &bench, const RunConfig &config)
     result.heap = heap.stats();
     result.exceptionsDelivered = machine.exceptions().deliveredCount();
     result.exceptionsSuppressed = machine.exceptions().suppressedCount();
+    result.security = ctx.securityResult();
     if (machine.coreCount() > 1) {
         result.cores.reserve(machine.coreCount());
         for (unsigned c = 0; c < machine.coreCount(); ++c) {

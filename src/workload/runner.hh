@@ -35,6 +35,9 @@ struct RunConfig
     /** Fleet serving-engine knobs (fleet.* registry keys); only the
      *  `califorms fleet` path consumes them. */
     FleetParams fleet{};
+    /** Attack scenario knobs (attack.* registry keys); only the attack
+     *  replay benchmark consumes them. */
+    AttackParams attack{};
     /** Layout randomization seed — the paper builds three binaries per
      *  configuration; vary this to model that. */
     std::uint64_t layoutSeed = 7;
@@ -68,6 +71,9 @@ struct RunResult
     /** Per-core breakdown; filled only when core.count > 1 (empty on
      *  single-core runs, keeping their reports byte-identical). */
     std::vector<CoreRunStats> cores;
+    /** Attack-scenario rollup; trials stays 0 for every benchmark but
+     *  the attack replay, keeping other reports byte-identical. */
+    SecurityRunStats security{};
 };
 
 /** Run @p bench under @p config on a fresh machine. Throws

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "security/attacks.hh"
 
 namespace califorms
@@ -151,6 +153,99 @@ TEST(Brop, UnprotectedVictimFallsImmediately)
         *def, InsertionPolicy::None, PolicyParams{}, 2, 10, true);
     EXPECT_TRUE(r.succeeded);
     EXPECT_EQ(r.crashes, 0u);
+}
+
+// --- statistical pins for the legacy trio --------------------------------
+
+TEST(ScanStat, DetectionCostScalesInverselyWithDensity)
+{
+    // Geometric pin: from a start the attacker does not control, the
+    // scan survives only until the next security byte, so over many
+    // random layouts and random starts the normalized detection cost
+    // bytesScanned * density concentrates near the O(1) mean of the
+    // geometric distribution the paper's Section 7.3 argument assumes.
+    // (From the object base it would be degenerate: the full policy
+    // plants a leading span, so bytes_scanned is 0.)
+    double product_sum = 0;
+    const int seeds = 50;
+    for (int s = 0; s < seeds; ++s) {
+        Machine machine;
+        HeapAllocator heap(machine);
+        LayoutTransformer t(InsertionPolicy::Full, PolicyParams{1, 7, 1},
+                            100 + static_cast<std::uint64_t>(s));
+        auto layout = std::make_shared<SecureLayout>(
+            t.transform(*victimStruct()));
+        const Addr base = heap.allocate(layout, 4);
+        const std::size_t start =
+            (static_cast<std::size_t>(s) * 13) % layout->size;
+        AttackSimulator attacker(machine,
+                                 500 + static_cast<unsigned>(s));
+        const ScanResult r = attacker.linearScan(
+            base + start, 4 * layout->size - start);
+        ASSERT_TRUE(r.detected);
+        const double density =
+            static_cast<double>(layout->securityByteCount()) /
+            static_cast<double>(layout->size);
+        product_sum += static_cast<double>(r.bytesScanned) * density;
+    }
+    const double mean_product = product_sum / seeds;
+    EXPECT_GT(mean_product, 0.2);
+    EXPECT_LT(mean_product, 4.0);
+}
+
+TEST(ProbeStat, SurvivalMatchesClosedFormPower)
+{
+    // Each blind probe hits a security byte with probability P/N, so
+    // surviving a budget of O probes has probability (1 - P/N)^O.
+    Machine machine;
+    HeapAllocator heap(machine);
+    LayoutTransformer t(InsertionPolicy::Full, PolicyParams{1, 3, 1}, 7);
+    auto layout = std::make_shared<SecureLayout>(
+        t.transform(*victimStruct()));
+    std::vector<Addr> objs;
+    for (int i = 0; i < 64; ++i)
+        objs.push_back(heap.allocate(layout));
+    const double density =
+        static_cast<double>(layout->securityByteCount()) /
+        static_cast<double>(layout->size);
+
+    const std::size_t budget = 6;
+    const double expected = std::pow(1.0 - density, budget);
+    int survived = 0;
+    const int trials = 400;
+    for (int trial = 0; trial < trials; ++trial) {
+        machine.exceptions().clearLogs();
+        AttackSimulator attacker(machine,
+                                 2000 + static_cast<unsigned>(trial));
+        const ProbeResult r =
+            attacker.randomProbes(objs, layout->size, budget);
+        survived += r.detected ? 0 : 1;
+    }
+    EXPECT_NEAR(static_cast<double>(survived) / trials, expected,
+                0.08);
+}
+
+TEST(BropStat, RerandomizationCostSeparation)
+{
+    // The paper's quantitative claim: re-randomized respawns cost the
+    // attacker an order of magnitude more crashes than a static
+    // layout, which falls in at most sizeof(object) crashes.
+    Machine m1, m2;
+    const auto def = victimStruct();
+    AttackSimulator fixed(m1, 77);
+    AttackSimulator moving(m2, 77);
+    const auto fixed_r = fixed.bropAttack(
+        *def, InsertionPolicy::Full, PolicyParams{}, 2, 600, false);
+    const auto moving_r = moving.bropAttack(
+        *def, InsertionPolicy::Full, PolicyParams{}, 2, 600, true);
+    ASSERT_TRUE(fixed_r.succeeded);
+    EXPECT_FALSE(moving_r.succeeded);
+    EXPECT_GT(fixed_r.crashes, 0u);
+    EXPECT_GE(moving_r.crashes, 10 * fixed_r.crashes);
+    // The detection-latency clock starts with the attack: the first
+    // crash lands within a bounded number of one-byte store cycles.
+    EXPECT_GT(fixed_r.firstDetectionCycles, 0u);
+    EXPECT_GT(moving_r.firstDetectionCycles, 0u);
 }
 
 } // namespace

@@ -1,9 +1,12 @@
 /**
  * @file cmd_attack.cc
- * `califorms attack`: replay the Section 7.3 attack scenarios against a
- * califormed victim heap — linear scan, blind random probing, and the
- * BROP-style respawning attack with and without respawn
- * re-randomization (the paper's proposed mitigation).
+ * `califorms attack`: replay one registered attack scenario against a
+ * califormed victim heap. The legacy trio (scan, probe, brop and the
+ * `all` shorthand) keeps its historical single-trial output; every
+ * other registered scenario reports the uniform multi-trial rollup
+ * (success probability, detections, probes, crash and cycle costs).
+ * All knobs are `attack.*` registry keys; the historical flags are
+ * aliases for them.
  */
 
 #include "cli.hh"
@@ -11,10 +14,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "alloc/heap.hh"
-#include "security/attacks.hh"
+#include "security/scenarios.hh"
+#include "security/victims.hh"
 #include "sim/machine.hh"
 
 namespace califorms::cli
@@ -27,33 +32,24 @@ constexpr const char *prog = "califorms attack";
 void
 usage()
 {
+    std::string scenarios;
+    for (const auto &n : attackScenarioNames())
+        scenarios += (scenarios.empty() ? "" : "|") + n;
     std::printf(
-        "usage: califorms attack <scan|probe|brop|all> [options]\n"
+        "usage: califorms attack <%s|all> [options]\n"
         "\n"
         "options:\n"
         "  --maxspan N     maximum random span size (default 7); also "
         "sets the fixed span\n"
         "  --seed N        attacker + layout seed (default 31337)\n"
-        "  --objects N     victim heap population (default 64)\n"
-        "  --crashes N     BROP respawn budget (default 4096)\n"
+        "  --objects N     victim heap population (alias for "
+        "attack.objects)\n"
+        "  --crashes N     respawn budget (alias for "
+        "attack.crash_budget)\n"
         "%s\n"
         "(the victim policy defaults to 'full' here, not the registry "
         "default)\n",
-        config::cliUsage().c_str());
-}
-
-/** The victim: a session record whose token buffer sits next to the
- *  privilege flag the attacker wants to flip. */
-std::shared_ptr<StructDef>
-victimStruct()
-{
-    return std::make_shared<StructDef>(
-        "session", std::vector<Field>{
-                       {"id", Type::longType()},
-                       {"token", Type::array(Type::charType(), 24)},
-                       {"handler", Type::functionPointer()},
-                       {"privileged", Type::charType()},
-                   });
+        scenarios.c_str(), config::cliUsage().c_str());
 }
 
 struct AttackSetup
@@ -61,30 +57,49 @@ struct AttackSetup
     InsertionPolicy policy = InsertionPolicy::Full;
     PolicyParams params{1, 7, 1};
     std::uint64_t seed = 31337;
-    std::size_t objects = 64;
-    std::size_t crashes = 4096;
     MachineParams machine{};
+    HeapParams heap{};
+    AttackParams attack{};
 };
+
+/** One legacy-format trial: fresh machine + heap, shared
+ *  attacker/layout seed — exactly the historical setup. */
+ScenarioTrial
+legacyTrial(const AttackSetup &s, const AttackScenario &scenario,
+            const StructDef &victim, Machine &machine,
+            HeapAllocator &heap)
+{
+    ScenarioContext c{machine,
+                      heap,
+                      s.heap,
+                      victim,
+                      attackTargetField(victim),
+                      s.policy,
+                      s.params,
+                      s.seed,
+                      s.seed,
+                      s.attack};
+    return scenario.run(c);
+}
 
 int
 runScan(const AttackSetup &s)
 {
     Machine machine(s.machine);
-    HeapAllocator heap(machine);
+    HeapAllocator heap(machine, s.heap);
+    const StructDefPtr def = attackVictim(s.attack.victim);
     LayoutTransformer t(s.policy, s.params, s.seed);
-    auto layout =
-        std::make_shared<SecureLayout>(t.transform(*victimStruct()));
-    const Addr base = heap.allocate(layout, s.objects);
+    const SecureLayout layout = t.transform(*def);
 
-    AttackSimulator attacker(machine, s.seed);
     const auto r =
-        attacker.linearScan(base, s.objects * layout->size);
+        legacyTrial(s, findAttackScenario("scan"), *def, machine, heap);
     std::printf("scan: detected=%s bytes_scanned=%zu of %zu "
                 "(density=%.2f)\n",
-                r.detected ? "yes" : "no", r.bytesScanned,
-                s.objects * layout->size,
-                static_cast<double>(layout->securityByteCount()) /
-                    static_cast<double>(layout->size));
+                r.detected ? "yes" : "no",
+                static_cast<std::size_t>(r.bytesTouched),
+                static_cast<std::size_t>(s.attack.objects) * layout.size,
+                static_cast<double>(layout.securityByteCount()) /
+                    static_cast<double>(layout.size));
     return 0;
 }
 
@@ -92,41 +107,63 @@ int
 runProbe(const AttackSetup &s)
 {
     Machine machine(s.machine);
-    HeapAllocator heap(machine);
-    LayoutTransformer t(s.policy, s.params, s.seed);
-    auto layout =
-        std::make_shared<SecureLayout>(t.transform(*victimStruct()));
-    std::vector<Addr> objs;
-    for (std::size_t i = 0; i < s.objects; ++i)
-        objs.push_back(heap.allocate(layout));
+    HeapAllocator heap(machine, s.heap);
+    const StructDefPtr def = attackVictim(s.attack.victim);
 
-    AttackSimulator attacker(machine, s.seed);
-    const auto r = attacker.randomProbes(objs, layout->size,
-                                         /*budget=*/100000);
+    const auto r = legacyTrial(s, findAttackScenario("probe"), *def,
+                               machine, heap);
     std::printf("probe: detected=%s probes=%zu\n",
-                r.detected ? "yes" : "no", r.probes);
+                r.detected ? "yes" : "no",
+                static_cast<std::size_t>(r.probes));
     return 0;
 }
 
 int
 runBrop(const AttackSetup &s)
 {
-    auto def = victimStruct();
-    const std::size_t target = def->fields().size() - 1; // privileged
+    const StructDefPtr def = attackVictim(s.attack.victim);
 
     for (const bool rerandomize : {false, true}) {
         Machine machine(s.machine);
-        AttackSimulator attacker(machine, s.seed);
-        const auto r =
-            attacker.bropAttack(*def, s.policy, s.params, target,
-                                s.crashes, rerandomize);
+        HeapAllocator heap(machine, s.heap);
+        AttackSetup life = s;
+        life.attack.bropRerandomize = rerandomize;
+        const auto r = legacyTrial(life, findAttackScenario("brop"),
+                                   *def, machine, heap);
         std::printf("brop rerandomize=%s: succeeded=%s crashes=%zu "
                     "probes=%zu\n",
                     rerandomize ? "yes" : "no",
-                    r.succeeded ? "yes" : "no", r.crashes, r.probes);
+                    r.success ? "yes" : "no",
+                    static_cast<std::size_t>(r.crashes),
+                    static_cast<std::size_t>(r.probes));
     }
     std::puts("(static layouts fall in sizeof(object) crashes; "
               "re-randomized respawns do not)");
+    return 0;
+}
+
+/** The uniform multi-trial rollup every non-legacy scenario prints. */
+int
+runScenario(const AttackSetup &s, const std::string &name)
+{
+    Machine machine(s.machine);
+    AttackParams params = s.attack;
+    params.scenario = name;
+    const SecurityRunStats r = runAttackTrials(
+        machine, s.heap, s.policy, s.params, s.seed, params,
+        static_cast<std::size_t>(params.seeds));
+    std::printf("%s: success_p=%.2f (%zu/%zu) detections=%zu "
+                "crashes=%zu probes=%zu bytes=%zu detect_cycles=%zu\n",
+                name.c_str(),
+                static_cast<double>(r.successes) /
+                    static_cast<double>(r.trials),
+                static_cast<std::size_t>(r.successes),
+                static_cast<std::size_t>(r.trials),
+                static_cast<std::size_t>(r.detections),
+                static_cast<std::size_t>(r.crashes),
+                static_cast<std::size_t>(r.probes),
+                static_cast<std::size_t>(r.bytesTouched),
+                static_cast<std::size_t>(r.detectionLatencyCycles));
     return 0;
 }
 
@@ -159,11 +196,13 @@ cmdAttack(int argc, char **argv)
                              flagValue(argc, argv, i)))
                 return 2;
         } else if (arg == "--objects") {
-            s.objects = static_cast<std::size_t>(
-                std::atoi(flagValue(argc, argv, i)));
+            if (!setOrReport(cfg, prog, arg, "attack.objects",
+                             flagValue(argc, argv, i)))
+                return 2;
         } else if (arg == "--crashes") {
-            s.crashes = static_cast<std::size_t>(
-                std::atoi(flagValue(argc, argv, i)));
+            if (!setOrReport(cfg, prog, arg, "attack.crash_budget",
+                             flagValue(argc, argv, i)))
+                return 2;
         } else if (arg == "--help") {
             usage();
             return 0;
@@ -177,19 +216,31 @@ cmdAttack(int argc, char **argv)
         }
     }
 
-    // The scenarios consume the machine model and the victim layout;
-    // heap.*, stack.*, and run.* knobs have no effect on an attack
-    // replay, so reject them rather than silently ignoring them.
+    // The scenarios consume the machine model, the victim layout, the
+    // heap discipline, and the attack.* knobs; stack.*, run.*, and the
+    // other subsystem keys have no effect on an attack replay, so
+    // reject them rather than silently ignoring them.
+    bool scenario_key_set = false;
     for (const auto &[key, value] : cfg.entries()) {
+        if (key == "attack.scenario")
+            scenario_key_set = true;
         if (key.rfind("mem.", 0) != 0 && key.rfind("core.", 0) != 0 &&
-            key.rfind("layout.", 0) != 0) {
+            key.rfind("layout.", 0) != 0 &&
+            key.rfind("heap.", 0) != 0 && key.rfind("attack.", 0) != 0) {
             std::fprintf(stderr,
                          "%s: %s has no effect on the attack "
-                         "scenarios (only mem.*, core.*, and layout.* "
-                         "knobs apply)\n",
+                         "scenarios (only mem.*, core.*, layout.*, "
+                         "heap.*, and attack.* knobs apply)\n",
                          prog, key.c_str());
             return 2;
         }
+    }
+    if (!scenario.empty() && scenario_key_set) {
+        std::fprintf(stderr,
+                     "%s: give the scenario positionally ('%s') or via "
+                     "attack.scenario, not both\n",
+                     prog, scenario.c_str());
+        return 2;
     }
 
     // The attack scenarios deviate from the registry defaults: the
@@ -205,6 +256,10 @@ cmdAttack(int argc, char **argv)
     s.params = rc.policyParams;
     s.seed = rc.layoutSeed;
     s.machine = rc.machine;
+    s.heap = rc.heap;
+    s.attack = rc.attack;
+    if (scenario.empty() && scenario_key_set)
+        scenario = rc.attack.scenario;
 
     // The attacker is a single agent probing from one core; a
     // multi-core machine would be a silent no-op here.
@@ -223,14 +278,23 @@ cmdAttack(int argc, char **argv)
     if (scenario == "brop")
         return runBrop(s);
     if (scenario == "all") {
-        if (const int rc = runScan(s))
-            return rc;
-        if (const int rc = runProbe(s))
-            return rc;
+        if (const int rc2 = runScan(s))
+            return rc2;
+        if (const int rc2 = runProbe(s))
+            return rc2;
         return runBrop(s);
     }
-    usage();
-    return 2;
+    if (scenario.empty()) {
+        usage();
+        return 2;
+    }
+    try {
+        findAttackScenario(scenario);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "%s: %s\n", prog, e.what());
+        return 2;
+    }
+    return runScenario(s, scenario);
 }
 
 } // namespace califorms::cli

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "security/scenarios.hh"
 #include "workload/runner.hh"
 #include "workload/synth.hh"
 
@@ -108,6 +109,23 @@ report(const RunResult &r, const RunConfig &config)
                         r.mem.l3.cformEvictions),
                     evictions ? cform / evictions : 0.0);
     }
+    // Security rollup only for the attack replay benchmark, keeping
+    // every other benchmark's output byte-identical.
+    if (r.security.trials > 0)
+        std::printf("  security: scenario=%s success_p=%.2f (%llu/%llu)"
+                    " detections=%llu crashes=%llu probes=%llu "
+                    "detect_cycles=%llu\n",
+                    r.security.scenario.c_str(),
+                    static_cast<double>(r.security.successes) /
+                        static_cast<double>(r.security.trials),
+                    static_cast<unsigned long long>(r.security.successes),
+                    static_cast<unsigned long long>(r.security.trials),
+                    static_cast<unsigned long long>(
+                        r.security.detections),
+                    static_cast<unsigned long long>(r.security.crashes),
+                    static_cast<unsigned long long>(r.security.probes),
+                    static_cast<unsigned long long>(
+                        r.security.detectionLatencyCycles));
     if (r.cores.empty())
         return;
     std::printf("  coherence: invalidations=%llu dirtyRecalls=%llu "
@@ -191,6 +209,21 @@ cmdRun(int argc, char **argv)
                          "`califorms fleet` consumes fleet.* knobs)\n",
                          key.c_str());
             return 2;
+        }
+    }
+
+    // attack.* knobs drive only the attack replay benchmark; on
+    // anything else they would be a silent no-op, so reject them.
+    if (!isAttackBenchmark(bench_name)) {
+        for (const auto &[key, value] : cfg.entries()) {
+            if (key.rfind("attack.", 0) == 0) {
+                std::fprintf(stderr,
+                             "califorms run: %s has no effect on "
+                             "benchmark '%s' (only the attack replay "
+                             "benchmark consumes attack.* knobs)\n",
+                             key.c_str(), bench_name.c_str());
+                return 2;
+            }
         }
     }
 

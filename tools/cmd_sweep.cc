@@ -26,6 +26,7 @@
 
 #include "exp/campaign.hh"
 #include "exp/report.hh"
+#include "security/scenarios.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
 #include "workload/synth.hh"
@@ -241,7 +242,26 @@ cmdSweep(int argc, char **argv)
     // synthetic benchmark is in the suite.
     const bool any_synth =
         bench_name == "synthetic" || isSynthWorkload(bench_name);
+    const bool any_attack = isAttackBenchmark(bench_name);
+    // attack.* keys (as base sets or grid axes) only reach the attack
+    // replay benchmark; anywhere else they would be a silent no-op.
+    for (const auto &[key, values] : axes) {
+        if (!any_attack && key.rfind("attack.", 0) == 0) {
+            std::fprintf(stderr,
+                         "%s: --axis %s has no effect here (only "
+                         "`--bench attack` consumes attack.* knobs)\n",
+                         prog, key.c_str());
+            return 2;
+        }
+    }
     for (const auto &[key, value] : cfg.entries()) {
+        if (!any_attack && key.rfind("attack.", 0) == 0) {
+            std::fprintf(stderr,
+                         "%s: %s has no effect here (only `--bench "
+                         "attack` consumes attack.* knobs)\n",
+                         prog, key.c_str());
+            return 2;
+        }
         if (!any_synth && key.rfind("workload.", 0) == 0) {
             std::fprintf(stderr,
                          "%s: %s has no effect here (no synthetic "
